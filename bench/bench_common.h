@@ -1,0 +1,95 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench binary prints the paper-style table first (the rows/series
+// of the corresponding figure), then registers google-benchmark cases so
+// the harness also measures the host-side cost of the timing simulation.
+// Simulated performance is reported through benchmark counters
+// ("sim_gflops", "pct_peak"); wall time of a case is the cost of running
+// the timing model itself, not of the simulated machine.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/gemm_runner.h"
+#include "xmath/xmath.h"
+
+namespace sw::bench {
+
+struct Shape {
+  std::int64_t m, n, k;
+  [[nodiscard]] std::string label() const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%ldx%ldx%ld", static_cast<long>(m),
+                  static_cast<long>(n), static_cast<long>(k));
+    return buf;
+  }
+};
+
+/// Compiles each optimisation level once and serves cached kernels.
+class KernelCache {
+ public:
+  const core::CompiledKernel& get(const core::CodegenOptions& options) {
+    const std::string key = keyOf(options);
+    auto it = cache_.find(key);
+    if (it == cache_.end())
+      it = cache_.emplace(key, compiler_.compile(options)).first;
+    return it->second;
+  }
+
+  [[nodiscard]] const sunway::ArchConfig& arch() const {
+    return compiler_.arch();
+  }
+
+  double gflops(const core::CodegenOptions& options, const Shape& shape,
+                std::int64_t batch = 1) {
+    core::GemmProblem problem{shape.m, shape.n, shape.k, batch};
+    return core::estimateGemm(get(options), arch(), problem).gflops;
+  }
+
+ private:
+  static std::string keyOf(const core::CodegenOptions& o) {
+    return std::string(o.useAsm ? "a" : "-") + (o.useRma ? "r" : "-") +
+           (o.hideLatency ? "h" : "-") + (o.batched ? "b" : "-") +
+           std::to_string(static_cast<int>(o.fusion)) + "/" +
+           std::to_string(o.tileM) + "x" + std::to_string(o.tileN) + "x" +
+           std::to_string(o.tileK);
+  }
+
+  core::SwGemmCompiler compiler_;
+  std::map<std::string, core::CompiledKernel> cache_;
+};
+
+inline core::CodegenOptions variantOptions(bool useAsm, bool useRma,
+                                           bool hide) {
+  core::CodegenOptions options;
+  options.useAsm = useAsm;
+  options.useRma = useRma;
+  options.hideLatency = hide;
+  return options;
+}
+
+/// The paper's four breakdown levels (Fig.13) in order.
+inline const std::vector<std::pair<const char*, core::CodegenOptions>>&
+breakdownVariants() {
+  static const std::vector<std::pair<const char*, core::CodegenOptions>>
+      variants = {
+          {"baseline(DMA)", variantOptions(false, false, false)},
+          {"+asm", variantOptions(true, false, false)},
+          {"+RMA", variantOptions(true, true, false)},
+          {"+hiding", variantOptions(true, true, true)},
+      };
+  return variants;
+}
+
+inline void printRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace sw::bench

@@ -1,0 +1,72 @@
+// Extension — multi-core-group scaling (§2.1/§9 future work): SW26010Pro
+// carries six core groups; this bench decomposes GEMM row-block-wise
+// across them and reports the scaling curve, including where NoC operand
+// distribution starts to bite (small problems).
+#include "bench_common.h"
+
+#include "core/multi_cluster.h"
+
+namespace sw::bench {
+namespace {
+
+void printTable() {
+  KernelCache cache;
+  const core::CompiledKernel& kernel =
+      cache.get(variantOptions(true, true, true));
+  const double peak = cache.arch().peakFlops() / 1e9;
+
+  std::printf("Extension: multi-core-group scaling (model peak %.1f "
+              "GFLOPS per core group)\n", peak);
+  printRule(86);
+  std::printf("%-20s %9s %12s %12s %12s %10s\n", "shape", "clusters",
+              "GFLOPS", "compute ms", "comm ms", "efficiency");
+  printRule(86);
+  for (const Shape& shape :
+       {Shape{3072, 3072, 1024}, Shape{12288, 8192, 8192},
+        Shape{30720, 16384, 16384}}) {
+    for (int clusters : {1, 2, 3, 6}) {
+      core::MultiClusterConfig config;
+      config.clusters = clusters;
+      core::MultiClusterOutcome outcome = core::estimateMultiCluster(
+          kernel, cache.arch(), config,
+          core::GemmProblem{shape.m, shape.n, shape.k});
+      std::printf("%-20s %9d %12.1f %12.3f %12.3f %9.1f%%\n",
+                  shape.label().c_str(), clusters, outcome.gflops,
+                  outcome.computeSeconds * 1e3,
+                  outcome.communicationSeconds * 1e3,
+                  100.0 * outcome.gflops / (clusters * peak));
+    }
+    printRule(86);
+  }
+  std::printf("(per-cluster efficiency falls as the unoverlapped NoC "
+              "distribution grows — the overlap is the MPI-generation "
+              "future work of §9)\n\n");
+}
+
+}  // namespace
+}  // namespace sw::bench
+
+int main(int argc, char** argv) {
+  sw::bench::printTable();
+  for (int clusters : {1, 6}) {
+    benchmark::RegisterBenchmark(
+        ("MultiCluster/c" + std::to_string(clusters)).c_str(),
+        [clusters](benchmark::State& state) {
+          static sw::bench::KernelCache cache;
+          const sw::core::CompiledKernel& kernel =
+              cache.get(sw::bench::variantOptions(true, true, true));
+          sw::core::MultiClusterConfig config;
+          config.clusters = clusters;
+          double gflops = 0.0;
+          for (auto _ : state)
+            gflops = sw::core::estimateMultiCluster(
+                         kernel, cache.arch(), config,
+                         sw::core::GemmProblem{12288, 8192, 8192})
+                         .gflops;
+          state.counters["sim_gflops"] = gflops;
+        });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

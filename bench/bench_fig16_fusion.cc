@@ -1,0 +1,111 @@
+// Fig.16 — fusion with a prologue (quantization of A) and with an epilogue
+// (activation of C), versus the unfused xMath-based implementation that
+// runs the element-wise pass on the MPE (§8.4).
+//
+// Paper reference points: prologue fusion 1.26x on average (1709.81 vs
+// 1436.46 GFLOPS), with the baseline occasionally winning on large-N
+// shapes because fusion recomputes the quantization along j; epilogue
+// fusion 2.11x steady (1818.24 vs 919.56); combined 1.67x.
+#include "bench_common.h"
+
+namespace sw::bench {
+namespace {
+
+const std::vector<Shape>& fusionShapes() {
+  static const std::vector<Shape> shapes = {
+      Shape{2048, 8192, 4096},    Shape{4096, 8192, 4096},
+      Shape{4096, 16384, 4096},   Shape{4096, 16384, 8192},
+      Shape{8192, 16384, 8192},   Shape{8192, 8192, 4096},
+      Shape{10752, 10752, 10752}, Shape{4096, 16384, 16384},
+  };
+  return shapes;
+}
+
+struct FusionCase {
+  const char* name;
+  core::FusionKind kind;
+  /// Elements of the unfused MPE pass: A (M*K) for the prologue, C (M*N)
+  /// for the epilogue.
+  std::int64_t elements(const Shape& s) const {
+    return kind == core::FusionKind::kPrologueQuantize ? s.m * s.k
+                                                       : s.m * s.n;
+  }
+};
+
+void printOne(KernelCache& cache, const FusionCase& fusion, double* avgOurs,
+              double* avgBase) {
+  xmath::XMathModel xm(cache.arch());
+  core::CodegenOptions ours = variantOptions(true, true, true);
+  ours.fusion = fusion.kind;
+
+  std::printf("Fig.16 (%s): fused vs xMath + MPE element-wise pass "
+              "(GFLOPS)\n", fusion.name);
+  printRule(72);
+  std::printf("%-22s %10s %12s %10s\n", "shape", "fused", "xMath-based",
+              "speedup");
+  printRule(72);
+
+  double sumOurs = 0.0, sumBase = 0.0;
+  for (const Shape& shape : fusionShapes()) {
+    const double flops = 2.0 * shape.m * shape.n * shape.k;
+    const double o = cache.gflops(ours, shape);
+    const double baseSeconds =
+        xm.gemmSeconds(shape.m, shape.n, shape.k) +
+        xm.mpeElementwiseSeconds(fusion.elements(shape));
+    const double b = flops / baseSeconds / 1e9;
+    sumOurs += o;
+    sumBase += b;
+    std::printf("%-22s %10.2f %12.2f %9.2fx\n", shape.label().c_str(), o, b,
+                o / b);
+  }
+  printRule(72);
+  const double count = static_cast<double>(fusionShapes().size());
+  std::printf("%-22s %10.2f %12.2f %9.2fx\n\n", "mean", sumOurs / count,
+              sumBase / count, sumOurs / sumBase);
+  *avgOurs += sumOurs / count;
+  *avgBase += sumBase / count;
+}
+
+void printTable() {
+  KernelCache cache;
+  double avgOurs = 0.0, avgBase = 0.0;
+  printOne(cache,
+           FusionCase{"prologue: quantize(A)",
+                      core::FusionKind::kPrologueQuantize},
+           &avgOurs, &avgBase);
+  printOne(cache,
+           FusionCase{"epilogue: relu(C)", core::FusionKind::kEpilogueRelu},
+           &avgOurs, &avgBase);
+  std::printf("combined fusion speedup: %.2fx (paper: 1.67x; per-pattern "
+              "1.26x / 2.11x)\n\n",
+              avgOurs / avgBase);
+}
+
+}  // namespace
+}  // namespace sw::bench
+
+int main(int argc, char** argv) {
+  sw::bench::printTable();
+  for (auto kind : {sw::core::FusionKind::kPrologueQuantize,
+                    sw::core::FusionKind::kEpilogueRelu}) {
+    const char* tag =
+        kind == sw::core::FusionKind::kPrologueQuantize ? "prologue"
+                                                        : "epilogue";
+    for (const sw::bench::Shape& shape : sw::bench::fusionShapes()) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig16/") + tag + "/" + shape.label()).c_str(),
+          [shape, kind](benchmark::State& state) {
+            static sw::bench::KernelCache cache;
+            sw::core::CodegenOptions options =
+                sw::bench::variantOptions(true, true, true);
+            options.fusion = kind;
+            double gflops = 0.0;
+            for (auto _ : state) gflops = cache.gflops(options, shape);
+            state.counters["sim_gflops"] = gflops;
+          });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "codegen/program.h"
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::codegen {
+
+const ArrayInfo& KernelProgram::array(const std::string& name) const {
+  for (const ArrayInfo& a : arrays)
+    if (a.name == name) return a;
+  throwInternal(strCat("unknown array '", name, "'"));
+}
+
+const SpmBufferDecl& KernelProgram::buffer(const std::string& set) const {
+  for (const SpmBufferDecl& b : buffers)
+    if (b.set == set) return b;
+  throwInternal(strCat("unknown SPM buffer set '", set, "'"));
+}
+
+std::int64_t KernelProgram::spmBytesUsed() const {
+  std::int64_t total = 0;
+  for (const SpmBufferDecl& b : buffers) total += b.totalBytes();
+  return total;
+}
+
+void planSpmLayout(KernelProgram& program, std::int64_t spmBytes) {
+  std::int64_t offset = 0;
+  for (SpmBufferDecl& b : program.buffers) {
+    b.spmOffsetBytes = offset;
+    offset += b.totalBytes();
+  }
+  if (offset > spmBytes)
+    throwInput(strCat("SPM working set ", offset, " bytes exceeds SPM size ",
+                      spmBytes, " bytes"));
+}
+
+std::size_t countOps(const OpList& ops) {
+  std::size_t count = 0;
+  for (const Op& op : ops) {
+    ++count;
+    if (const auto* loop = std::get_if<LoopOp>(&op.v))
+      count += countOps(loop->body);
+    else if (const auto* assign = std::get_if<AssignOp>(&op.v))
+      count += countOps(assign->body);
+  }
+  return count;
+}
+
+}  // namespace sw::codegen

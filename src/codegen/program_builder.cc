@@ -1,0 +1,185 @@
+#include "codegen/program_builder.h"
+
+#include <vector>
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::codegen {
+
+namespace {
+
+using sched::BandNode;
+using sched::CopyKind;
+using sched::CopyStmt;
+using sched::ExtensionNode;
+using sched::FilterElement;
+using sched::FilterNode;
+using sched::MarkNode;
+using sched::NodeKind;
+using sched::ScheduleNode;
+
+class Builder {
+ public:
+  OpList build(const ScheduleNode& node) {
+    OpList ops;
+    visit(node, ops);
+    return ops;
+  }
+
+ private:
+  std::vector<const ExtensionNode*> extensions_;
+
+  const CopyStmt& lookupCopy(const std::string& name) const {
+    for (auto it = extensions_.rbegin(); it != extensions_.rend(); ++it)
+      if (const CopyStmt* copy = (*it)->findCopy(name)) return *copy;
+    throwInternal(strCat("no extension in scope defines copy '", name, "'"));
+  }
+
+  /// The copy statement signalling `slot` (reply slots always belong to an
+  /// in-scope copy; missing means a malformed tree).
+  const CopyStmt& slotOwner(const std::string& slot) const {
+    for (auto it = extensions_.rbegin(); it != extensions_.rend(); ++it)
+      for (const CopyStmt& copy : (*it)->copies)
+        if (copy.replySlot == slot) return copy;
+    throwInternal(strCat("reply slot '", slot, "' has no issuing copy"));
+  }
+
+  void emitCopy(const CopyStmt& stmt, OpList& ops) const {
+    switch (stmt.kind) {
+      case CopyKind::kDmaGet:
+      case CopyKind::kDmaPut:
+        ops.push_back(Op{DmaOp{stmt}});
+        break;
+      case CopyKind::kRmaRowBcast:
+      case CopyKind::kRmaColBcast:
+        ops.push_back(Op{RmaOp{stmt}});
+        break;
+    }
+  }
+
+  void visitFilter(const FilterNode& filter, OpList& ops) {
+    OpList* sink = &ops;
+    OpList scoped;
+    // A range restriction introduces a loop (or a pinned value) that owns
+    // the body ops.
+    const bool hasRange = filter.range.has_value();
+    if (hasRange) sink = &scoped;
+
+    bool emittedChild = false;
+    for (const FilterElement& element : filter.elements) {
+      switch (element.kind) {
+        case FilterElement::Kind::kCopy:
+          emitCopy(lookupCopy(element.name), *sink);
+          break;
+        case FilterElement::Kind::kReplyWait: {
+          const CopyStmt& owner = slotOwner(element.name);
+          const bool isRma = owner.kind == CopyKind::kRmaRowBcast ||
+                             owner.kind == CopyKind::kRmaColBcast;
+          sink->push_back(Op{WaitOp{element.name, isRma,
+                                    owner.kind == CopyKind::kRmaRowBcast}});
+          break;
+        }
+        case FilterElement::Kind::kSync:
+          sink->push_back(Op{SyncOp{}});
+          break;
+        case FilterElement::Kind::kStatement:
+          if (!emittedChild && !filter.children().empty()) {
+            visit(filter.onlyChild(), *sink);
+            emittedChild = true;
+          }
+          break;
+      }
+    }
+    // Filters that structure control flow without naming a statement (the
+    // peeled steady-state filters of Fig.11) still execute their subtree.
+    if (!emittedChild && !filter.children().empty() &&
+        filter.onlyChild().kind() != NodeKind::kLeaf)
+      visit(filter.onlyChild(), *sink);
+
+    if (hasRange) {
+      const sched::RangeRestriction& range = *filter.range;
+      if (range.end == range.begin.plus(1)) {
+        ops.push_back(Op{AssignOp{range.var, range.begin, std::move(scoped)}});
+      } else {
+        ops.push_back(
+            Op{LoopOp{range.var, range.begin, range.end, std::move(scoped)}});
+      }
+    }
+  }
+
+  void visit(const ScheduleNode& node, OpList& ops) {
+    switch (node.kind()) {
+      case NodeKind::kDomain:
+        visit(node.onlyChild(), ops);
+        break;
+      case NodeKind::kBand: {
+        const auto& band = sched::nodeCast<BandNode>(node);
+        // Build loops for unbound members, innermost last.
+        OpList* sink = &ops;
+        std::vector<OpList> nests;
+        std::vector<const sched::BandMember*> loopMembers;
+        for (const sched::BandMember& member : band.members) {
+          if (member.binding) continue;  // Rid/Cid: predefined per CPE
+          loopMembers.push_back(&member);
+          nests.emplace_back();
+        }
+        if (loopMembers.empty()) {
+          visit(band.onlyChild(), *sink);
+          return;
+        }
+        // Fill the innermost body, then wrap outwards.
+        OpList body;
+        visit(band.onlyChild(), body);
+        for (std::size_t idx = loopMembers.size(); idx-- > 0;) {
+          const sched::BandMember& member = *loopMembers[idx];
+          LoopOp loop{member.var, sched::Extent::constant(0), member.extent,
+                      std::move(body)};
+          body.clear();
+          body.push_back(Op{std::move(loop)});
+        }
+        for (Op& op : body) sink->push_back(std::move(op));
+        break;
+      }
+      case NodeKind::kSequence:
+        for (const sched::NodePtr& child : node.children())
+          visit(*child, ops);
+        break;
+      case NodeKind::kFilter:
+        visitFilter(sched::nodeCast<FilterNode>(node), ops);
+        break;
+      case NodeKind::kExtension:
+        extensions_.push_back(&sched::nodeCast<ExtensionNode>(node));
+        visit(node.onlyChild(), ops);
+        extensions_.pop_back();
+        break;
+      case NodeKind::kMark: {
+        const auto& mark = sched::nodeCast<MarkNode>(node);
+        if (mark.compute) {
+          ops.push_back(Op{ComputeOp{*mark.compute}});
+        } else if (mark.elementwise) {
+          // Element-wise marks chain (e.g. quantize -> alpha-scale on the
+          // same tile): emit the op, then continue into the child.
+          ops.push_back(Op{ElementwiseOp{*mark.elementwise}});
+          if (!mark.children().empty()) visit(mark.onlyChild(), ops);
+        } else if (mark.label == "skipped") {
+          // Fig.12a: bypass the original subtree of a fused prologue.
+        } else if (!mark.children().empty()) {
+          visit(mark.onlyChild(), ops);
+        }
+        break;
+      }
+      case NodeKind::kLeaf:
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+OpList buildProgramBody(const sched::ScheduleTree& tree) {
+  Builder builder;
+  return builder.build(tree.root());
+}
+
+}  // namespace sw::codegen

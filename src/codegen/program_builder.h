@@ -1,0 +1,15 @@
+// Scans a final schedule tree into an executable KernelProgram body —
+// the AST-generation phase of §7.1.  The walk is generic over the node
+// kinds; all GEMM-specific knowledge lives in the tree itself (extension
+// statements, mark payloads, range filters).
+#pragma once
+
+#include "codegen/program.h"
+#include "schedule/tree.h"
+
+namespace sw::codegen {
+
+/// Produce the per-CPE op list for `tree`.  The tree must validate().
+OpList buildProgramBody(const sched::ScheduleTree& tree);
+
+}  // namespace sw::codegen

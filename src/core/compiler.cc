@@ -1,0 +1,22 @@
+#include "core/compiler.h"
+
+#include "codegen/athread_printer.h"
+
+namespace sw::core {
+
+CompiledKernel SwGemmCompiler::compile(const CodegenOptions& options) const {
+  PipelineResult pipeline = runGemmPipeline(options, arch_);
+  CompiledKernel kernel;
+  kernel.options = options;
+  kernel.program = std::move(pipeline.program);
+  kernel.initialTreeDump = std::move(pipeline.initialTreeDump);
+  kernel.tiledTreeDump = std::move(pipeline.tiledTreeDump);
+  kernel.finalTreeDump = std::move(pipeline.finalTreeDump);
+  codegen::GeneratedSources sources =
+      codegen::printAthreadSources(kernel.program);
+  kernel.cpeSource = std::move(sources.cpe);
+  kernel.mpeSource = std::move(sources.mpe);
+  return kernel;
+}
+
+}  // namespace sw::core

@@ -1,0 +1,52 @@
+// Public entry point of the swcodegen library.
+//
+// SwGemmCompiler turns the DGEMM pattern (either a canonical spec given by
+// CodegenOptions, or a naive C source accepted by the frontend) into a
+// CompiledKernel: the executable per-CPE program, the generated athread C
+// sources, and the schedule-tree dumps of every pipeline stage.
+#pragma once
+
+#include <string>
+
+#include "codegen/program.h"
+#include "core/options.h"
+#include "core/pipeline.h"
+#include "sunway/arch.h"
+
+namespace sw::core {
+
+struct CompiledKernel {
+  CodegenOptions options;
+  codegen::KernelProgram program;
+  /// Generated athread C sources (§7): the CPE (slave) file and the MPE
+  /// (host) file, as the paper's tool emits them.
+  std::string cpeSource;
+  std::string mpeSource;
+  /// Schedule trees after each stage, for inspection/golden tests.
+  std::string initialTreeDump;
+  std::string tiledTreeDump;
+  std::string finalTreeDump;
+};
+
+class SwGemmCompiler {
+ public:
+  explicit SwGemmCompiler(sunway::ArchConfig arch = {})
+      : arch_(std::move(arch)) {}
+
+  [[nodiscard]] const sunway::ArchConfig& arch() const { return arch_; }
+
+  /// Compile the canonical DGEMM pattern with the given options.
+  [[nodiscard]] CompiledKernel compile(const CodegenOptions& options) const;
+
+  /// Compile a naive C GEMM source (§2.3): parse, analyse, classify the
+  /// pattern (plain / batched / fused), then run the pipeline.  Explicit
+  /// toggles in `base` (useAsm/useRma/hideLatency) are honoured; the
+  /// pattern-derived fields (batched, fusion) come from the source.
+  [[nodiscard]] CompiledKernel compileSource(const std::string& source,
+                                             CodegenOptions base = {}) const;
+
+ private:
+  sunway::ArchConfig arch_;
+};
+
+}  // namespace sw::core

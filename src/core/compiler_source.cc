@@ -1,0 +1,35 @@
+#include "codegen/athread_printer.h"
+#include "core/compiler.h"
+#include "frontend/pattern.h"
+
+namespace sw::core {
+
+CompiledKernel SwGemmCompiler::compileSource(const std::string& source,
+                                             CodegenOptions base) const {
+  frontend::GemmPatternInfo pattern = frontend::analyzeGemmSource(source);
+  base.batched = pattern.batched;
+  base.transposeA = pattern.transposeA;
+  base.transposeB = pattern.transposeB;
+  switch (pattern.fusion) {
+    case frontend::FusionPattern::kNone:
+      base.fusion = FusionKind::kNone;
+      break;
+    case frontend::FusionPattern::kPrologueQuantize:
+      base.fusion = FusionKind::kPrologueQuantize;
+      break;
+    case frontend::FusionPattern::kEpilogueRelu:
+      base.fusion = FusionKind::kEpilogueRelu;
+      break;
+  }
+  CompiledKernel kernel = compile(base);
+  // Name the generated kernel after the user's function and re-emit the
+  // sources under that name.
+  kernel.program.name = pattern.functionName;
+  codegen::GeneratedSources sources =
+      codegen::printAthreadSources(kernel.program);
+  kernel.cpeSource = std::move(sources.cpe);
+  kernel.mpeSource = std::move(sources.mpe);
+  return kernel;
+}
+
+}  // namespace sw::core

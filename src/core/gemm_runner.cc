@@ -1,0 +1,90 @@
+#include "core/gemm_runner.h"
+
+#include "support/error.h"
+#include "support/format.h"
+#include "sunway/mesh.h"
+
+namespace sw::core {
+
+namespace {
+
+/// Copy a batch*rows*cols row-major matrix into a zero-padded
+/// batch*paddedRows*paddedCols host array.
+void packPadded(sunway::HostArray& dst, std::span<const double> src,
+                std::int64_t batch, std::int64_t rows, std::int64_t cols) {
+  SW_CHECK(static_cast<std::int64_t>(src.size()) == batch * rows * cols,
+           "input span size does not match the declared shape");
+  for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t r = 0; r < rows; ++r)
+      for (std::int64_t cc = 0; cc < cols; ++cc)
+        dst.at(b, r, cc) = src[static_cast<std::size_t>((b * rows + r) * cols + cc)];
+}
+
+void unpackPadded(std::span<double> dst, const sunway::HostArray& src,
+                  std::int64_t batch, std::int64_t rows, std::int64_t cols) {
+  for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t r = 0; r < rows; ++r)
+      for (std::int64_t cc = 0; cc < cols; ++cc)
+        dst[static_cast<std::size_t>((b * rows + r) * cols + cc)] =
+            src.at(b, r, cc);
+}
+
+}  // namespace
+
+rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
+                                 const sunway::ArchConfig& arch,
+                                 const GemmProblem& problem,
+                                 std::span<const double> a,
+                                 std::span<const double> b,
+                                 std::span<double> c) {
+  SW_CHECK(problem.batch >= 1, "batch must be >= 1");
+  SW_CHECK(kernel.options.batched || problem.batch == 1,
+           "batch > 1 requires a kernel compiled with --batch");
+  const PaddedShape padded =
+      padShape(problem.m, problem.n, problem.k, kernel.options, arch);
+
+  sunway::MeshSimulator mesh(arch, /*functional=*/true);
+  // Transposed operands are stored in their transposed layout (A: K x M,
+  // B: N x K), matching the generated kernel's address computation.
+  const bool tA = kernel.options.transposeA;
+  const bool tB = kernel.options.transposeB;
+  sunway::HostArray arrA = sunway::HostArray::allocate(
+      "A", problem.batch, tA ? padded.k : padded.m, tA ? padded.m : padded.k);
+  sunway::HostArray arrB = sunway::HostArray::allocate(
+      "B", problem.batch, tB ? padded.n : padded.k, tB ? padded.k : padded.n);
+  sunway::HostArray arrC = sunway::HostArray::allocate(
+      "C", problem.batch, padded.m, padded.n);
+  packPadded(arrA, a, problem.batch, tA ? problem.k : problem.m,
+             tA ? problem.m : problem.k);
+  packPadded(arrB, b, problem.batch, tB ? problem.n : problem.k,
+             tB ? problem.k : problem.n);
+  packPadded(arrC, c, problem.batch, problem.m, problem.n);
+  mesh.memory().add(std::move(arrA));
+  mesh.memory().add(std::move(arrB));
+  mesh.memory().add(std::move(arrC));
+
+  auto params = rt::bindParams(kernel.program, padded.m, padded.n, padded.k,
+                               problem.batch);
+  rt::ExecScalars scalars{problem.alpha, problem.beta};
+  rt::RunOutcome outcome = rt::runOnMesh(
+      mesh, kernel.program, params, scalars,
+      rt::gemmFlops(problem.m, problem.n, problem.k, problem.batch));
+
+  unpackPadded(c, mesh.memory().get("C"), problem.batch, problem.m,
+               problem.n);
+  return outcome;
+}
+
+rt::RunOutcome estimateGemm(const CompiledKernel& kernel,
+                            const sunway::ArchConfig& arch,
+                            const GemmProblem& problem) {
+  const PaddedShape padded =
+      padShape(problem.m, problem.n, problem.k, kernel.options, arch);
+  auto params = rt::bindParams(kernel.program, padded.m, padded.n, padded.k,
+                               problem.batch);
+  return rt::estimateTiming(
+      arch, kernel.program, params,
+      rt::gemmFlops(problem.m, problem.n, problem.k, problem.batch));
+}
+
+}  // namespace sw::core

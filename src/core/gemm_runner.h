@@ -1,0 +1,39 @@
+// Convenience execution wrappers around a CompiledKernel: padding per
+// §8.1's zero-padding convention, functional runs on the threaded mesh
+// simulator, and scalable timing estimates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compiler.h"
+#include "runtime/executor.h"
+
+namespace sw::core {
+
+struct GemmProblem {
+  std::int64_t m = 0, n = 0, k = 0;
+  std::int64_t batch = 1;
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+/// Run the compiled kernel functionally on the 64-thread mesh simulator.
+/// `a` is batch*m*k row-major, `b` batch*k*n, `c` batch*m*n (read-write:
+/// C = alpha*A*B + beta*C lands back in `c`).  Inputs are zero-padded to
+/// the kernel's shape preconditions internally.  Returns timing/counters.
+rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
+                                 const sunway::ArchConfig& arch,
+                                 const GemmProblem& problem,
+                                 std::span<const double> a,
+                                 std::span<const double> b,
+                                 std::span<double> c);
+
+/// Timing-only estimate for paper-scale shapes (no data, sequential
+/// symmetric model).
+rt::RunOutcome estimateGemm(const CompiledKernel& kernel,
+                            const sunway::ArchConfig& arch,
+                            const GemmProblem& problem);
+
+}  // namespace sw::core

@@ -1,0 +1,74 @@
+// GEMV kernel generation — the §9 adoption claim ("the strategy used for
+// optimizing GEMM can be easily adopted to subprograms like general
+// matrix-vector multiplication").
+//
+// y = alpha * A * x + beta * y, with A of size M x K row-major, decomposed
+// over the flattened CPE mesh: each CPE owns a 64-row slice of y per mesh
+// tile and streams its A panel in depth-`kChunk` pieces, double-buffered
+// with the same software-pipelining structure as the GEMM outer-k level.
+// There is no vendor assembly GEMV, so the inner product runs at
+// compiler-scheduled speed; the kernel is DMA-bandwidth-bound regardless
+// (arithmetic intensity 1/4 flop per byte), which the timing model shows.
+//
+// The result is an ordinary KernelProgram: the same interpreter executes
+// it (functionally and in timing mode) and the same printer emits its
+// athread C sources.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "codegen/program.h"
+#include "runtime/executor.h"
+#include "sunway/arch.h"
+
+namespace sw::core {
+
+struct GemvOptions {
+  /// Depth of one streamed A panel piece (per-CPE SPM tile is
+  /// 64 x kChunk doubles, double-buffered).
+  std::int64_t kChunk = 128;
+  std::int64_t rowsPerCpe = 64;
+  bool hideLatency = true;
+};
+
+struct CompiledGemv {
+  GemvOptions options;
+  codegen::KernelProgram program;
+  std::string cpeSource;
+  std::string mpeSource;
+};
+
+/// Generate the GEMV kernel for the given architecture.
+CompiledGemv compileGemv(const sunway::ArchConfig& arch,
+                         const GemvOptions& options = {});
+
+struct GemvProblem {
+  std::int64_t m = 0;
+  std::int64_t k = 0;
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+/// Execute functionally on the mesh simulator (inputs zero-padded to the
+/// kernel's units internally).  `a` is m*k row-major, `x` has k entries,
+/// `y` has m entries and receives the result.
+rt::RunOutcome runGemvFunctional(const CompiledGemv& kernel,
+                                 const sunway::ArchConfig& arch,
+                                 const GemvProblem& problem,
+                                 std::span<const double> a,
+                                 std::span<const double> x,
+                                 std::span<double> y);
+
+/// Timing-only estimate.
+rt::RunOutcome estimateGemv(const CompiledGemv& kernel,
+                            const sunway::ArchConfig& arch,
+                            const GemvProblem& problem);
+
+/// Reference oracle with the generated kernel's accumulation structure
+/// (alpha folded into x, k-blocked accumulation), for bit-exact checks.
+void referenceGemv(double* y, const double* a, const double* x,
+                   std::int64_t m, std::int64_t k, double alpha, double beta,
+                   std::int64_t kBlock = 128);
+
+}  // namespace sw::core

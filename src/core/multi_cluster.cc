@@ -1,0 +1,108 @@
+#include "core/multi_cluster.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace sw::core {
+
+namespace {
+
+struct RowBlock {
+  std::int64_t begin = 0;
+  std::int64_t rows = 0;
+};
+
+std::vector<RowBlock> splitRows(std::int64_t m, int clusters) {
+  std::vector<RowBlock> blocks;
+  const std::int64_t chunk = ceilDiv(m, clusters);
+  for (std::int64_t begin = 0; begin < m; begin += chunk)
+    blocks.push_back(RowBlock{begin, std::min(chunk, m - begin)});
+  return blocks;
+}
+
+void checkSupported(const CompiledKernel& kernel) {
+  SW_CHECK(!kernel.options.batched &&
+               !kernel.options.transposeA && !kernel.options.transposeB,
+           "multi-cluster decomposition currently covers the plain GEMM "
+           "kernel (the paper defers the general case to MPI codegen)");
+}
+
+double communicationSeconds(const MultiClusterConfig& config,
+                            std::int64_t blockM, std::int64_t n,
+                            std::int64_t k) {
+  // Per cluster: receive its A row panel and the full B, send back its C
+  // block; links to distinct clusters run concurrently.
+  const double bytes =
+      static_cast<double>(blockM * k + k * n + blockM * n) * sizeof(double);
+  return 3.0 * config.nocLatencySeconds +
+         bytes / config.nocBandwidthBytesPerSec;
+}
+
+}  // namespace
+
+MultiClusterOutcome estimateMultiCluster(const CompiledKernel& kernel,
+                                         const sunway::ArchConfig& arch,
+                                         const MultiClusterConfig& config,
+                                         const GemmProblem& problem) {
+  checkSupported(kernel);
+  SW_CHECK(config.clusters >= 1, "need at least one cluster");
+  const std::vector<RowBlock> blocks =
+      splitRows(problem.m, config.clusters);
+
+  MultiClusterOutcome outcome;
+  outcome.clustersUsed = static_cast<int>(blocks.size());
+  for (const RowBlock& block : blocks) {
+    GemmProblem sub = problem;
+    sub.m = block.rows;
+    const double compute = estimateGemm(kernel, arch, sub).seconds;
+    const double comm =
+        communicationSeconds(config, block.rows, problem.n, problem.k);
+    // Clusters run concurrently; the critical path is the slowest one.
+    outcome.computeSeconds = std::max(outcome.computeSeconds, compute);
+    outcome.communicationSeconds =
+        std::max(outcome.communicationSeconds, comm);
+  }
+  outcome.seconds = outcome.computeSeconds + outcome.communicationSeconds;
+  outcome.gflops =
+      rt::gemmFlops(problem.m, problem.n, problem.k) / outcome.seconds / 1e9;
+  return outcome;
+}
+
+MultiClusterOutcome runMultiClusterFunctional(
+    const CompiledKernel& kernel, const sunway::ArchConfig& arch,
+    const MultiClusterConfig& config, const GemmProblem& problem,
+    std::span<const double> a, std::span<const double> b,
+    std::span<double> c) {
+  checkSupported(kernel);
+  SW_CHECK(problem.batch == 1, "multi-cluster path is unbatched");
+  const std::vector<RowBlock> blocks =
+      splitRows(problem.m, config.clusters);
+
+  MultiClusterOutcome outcome;
+  outcome.clustersUsed = static_cast<int>(blocks.size());
+  for (const RowBlock& block : blocks) {
+    GemmProblem sub = problem;
+    sub.m = block.rows;
+    std::span<const double> aBlock =
+        a.subspan(static_cast<std::size_t>(block.begin * problem.k),
+                  static_cast<std::size_t>(block.rows * problem.k));
+    std::span<double> cBlock =
+        c.subspan(static_cast<std::size_t>(block.begin * problem.n),
+                  static_cast<std::size_t>(block.rows * problem.n));
+    rt::RunOutcome run =
+        runGemmFunctional(kernel, arch, sub, aBlock, b, cBlock);
+    outcome.computeSeconds = std::max(outcome.computeSeconds, run.seconds);
+    outcome.communicationSeconds = std::max(
+        outcome.communicationSeconds,
+        communicationSeconds(config, block.rows, problem.n, problem.k));
+  }
+  outcome.seconds = outcome.computeSeconds + outcome.communicationSeconds;
+  outcome.gflops =
+      rt::gemmFlops(problem.m, problem.n, problem.k) / outcome.seconds / 1e9;
+  return outcome;
+}
+
+}  // namespace sw::core

@@ -1,0 +1,56 @@
+// Multi-core-group decomposition — the paper's future-work layer (§2.1:
+// "one can gradually break down a GEMM routine into independent smaller
+// ones until each piece can be handled by a cluster"; §9: MPI code
+// generation is planned).
+//
+// SW26010Pro packs six core groups per processor, connected by the network
+// on chip.  This module decomposes C row-block-wise across clusters: each
+// cluster receives its A row panel and the full B (scatter/broadcast over
+// the NoC), runs the single-cluster generated kernel, and returns its C
+// block.  The functional path executes every cluster's block on the mesh
+// simulator (correctness-testable); the timing path adds a communication
+// model on top of the per-cluster estimate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/compiler.h"
+#include "core/gemm_runner.h"
+
+namespace sw::core {
+
+struct MultiClusterConfig {
+  /// Core groups per SW26010Pro processor (§2.1).
+  int clusters = 6;
+  /// Effective per-cluster NoC bandwidth for operand distribution.
+  double nocBandwidthBytesPerSec = 25.0e9;
+  double nocLatencySeconds = 2.0e-6;
+};
+
+struct MultiClusterOutcome {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  int clustersUsed = 0;
+  /// Time spent distributing A/B and collecting C (not overlapped with
+  /// compute; overlap is exactly the future work the paper defers).
+  double communicationSeconds = 0.0;
+  double computeSeconds = 0.0;
+};
+
+/// Timing estimate of the multi-cluster decomposition.
+MultiClusterOutcome estimateMultiCluster(const CompiledKernel& kernel,
+                                         const sunway::ArchConfig& arch,
+                                         const MultiClusterConfig& config,
+                                         const GemmProblem& problem);
+
+/// Functional execution: runs each cluster's row block on the mesh
+/// simulator sequentially; results land in `c` exactly as a single-cluster
+/// run would produce them.
+MultiClusterOutcome runMultiClusterFunctional(
+    const CompiledKernel& kernel, const sunway::ArchConfig& arch,
+    const MultiClusterConfig& config, const GemmProblem& problem,
+    std::span<const double> a, std::span<const double> b,
+    std::span<double> c);
+
+}  // namespace sw::core

@@ -1,0 +1,51 @@
+// Compiler options, mirroring the tool's command line (§8): --batch,
+// --no-use-asm, plus the ablation toggles the performance-breakdown
+// experiment (Fig.13) needs.
+#pragma once
+
+#include <cstdint>
+
+namespace sw::core {
+
+/// Fusion patterns of §7.3.
+enum class FusionKind {
+  kNone,
+  kPrologueQuantize,  // element-wise quantization of A fused before GEMM
+  kEpilogueRelu,      // activation of C fused after GEMM
+};
+
+struct CodegenOptions {
+  /// Invoke the vendor-style assembly micro-kernel (§7.2); false emits the
+  /// naive loop nest (--no-use-asm).
+  bool useAsm = true;
+
+  /// Share input tiles across mesh rows/columns with RMA broadcasts (§5);
+  /// false re-fetches every tile with DMA (the baseline of Fig.13).
+  bool useRma = true;
+
+  /// Two-level software pipelining + double buffering (§6); false issues
+  /// and waits back-to-back.
+  bool hideLatency = true;
+
+  /// Batched GEMM (--batch): isolate the batch dimension (§3, Fig.3).
+  bool batched = false;
+
+  FusionKind fusion = FusionKind::kNone;
+
+  /// GEMM operand variants (§2: "other GEMM variants share the same
+  /// structure with DGEMM").  A transposed operand is DMA-staged into a
+  /// scratch SPM tile and transposed on-CPE before the micro-kernel.
+  bool transposeA = false;  // C = alpha * A^T * B + beta * C
+  bool transposeB = false;  // C = alpha * A * B^T + beta * C
+
+  /// Micro-kernel shape contract (§7.2); the analytical tile-size model
+  /// simply adopts it (§3.1).
+  std::int64_t tileM = 64;
+  std::int64_t tileN = 64;
+  std::int64_t tileK = 32;
+
+  /// Strip-mining factor of the reduced dimension = mesh width (§3.2).
+  std::int64_t stripFactor = 8;
+};
+
+}  // namespace sw::core

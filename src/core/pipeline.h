@@ -1,0 +1,45 @@
+// The GEMM code-generation pipeline (§3–§7): dependence analysis, compute
+// decomposition, hardware binding, DMA/RMA insertion, memory latency
+// hiding, and lowering to an executable KernelProgram.
+//
+// Every stage operates on schedule trees; the intermediate trees are kept
+// so tests and the --dump-schedule path can check them against the paper's
+// figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/program.h"
+#include "core/options.h"
+#include "schedule/tree.h"
+#include "sunway/arch.h"
+
+namespace sw::core {
+
+/// Pipeline output: the final schedule tree, the stage-by-stage dumps, and
+/// the executable/printable kernel program.
+struct PipelineResult {
+  codegen::KernelProgram program;
+  std::string initialTreeDump;   // Fig.2b
+  std::string tiledTreeDump;     // Fig.4
+  std::string finalTreeDump;     // Fig.9 / Fig.11
+};
+
+/// Run the whole pipeline for the (possibly batched / fused) DGEMM pattern.
+/// Throws InputError if the dependence analysis cannot prove the required
+/// parallelism/tilability, or if the SPM working set would overflow.
+PipelineResult runGemmPipeline(const CodegenOptions& options,
+                               const sunway::ArchConfig& arch);
+
+/// Padded problem sizes: M, N rounded up to meshRows*tileM / meshCols*tileN
+/// and K to stripFactor*tileK (or tileK without RMA), per the zero-padding
+/// convention of §8.1.
+struct PaddedShape {
+  std::int64_t m = 0, n = 0, k = 0;
+};
+PaddedShape padShape(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const CodegenOptions& options,
+                     const sunway::ArchConfig& arch);
+
+}  // namespace sw::core

@@ -1,0 +1,61 @@
+#include "core/tuner.h"
+
+#include <chrono>
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::core {
+
+std::string TuneCandidate::label() const {
+  return strCat(tileM, "x", tileN, "x", tileK);
+}
+
+TuneResult tuneTileSizes(const CodegenOptions& base,
+                         const sunway::ArchConfig& arch,
+                         const GemmProblem& shape) {
+  const auto start = std::chrono::steady_clock::now();
+  SwGemmCompiler compiler(arch);
+  TuneResult result;
+
+  double bestGflops = -1.0;
+  for (std::int64_t tm : {16, 32, 64, 128}) {
+    for (std::int64_t tk : {16, 32, 64}) {
+      TuneCandidate candidate;
+      candidate.tileM = tm;
+      candidate.tileN = tm;
+      candidate.tileK = tk;
+      candidate.hasAsmKernel = tm == 64 && tk == 32;
+
+      CodegenOptions options = base;
+      options.tileM = tm;
+      options.tileN = tm;
+      options.tileK = tk;
+      try {
+        CompiledKernel kernel = compiler.compile(options);
+        candidate.feasible = true;
+        candidate.gflops =
+            estimateGemm(kernel, arch, shape).gflops;
+        candidate.note = candidate.hasAsmKernel
+                             ? "vendor micro-kernel"
+                             : "compiler-scheduled inner loops";
+      } catch (const InputError& e) {
+        candidate.feasible = false;
+        candidate.note = e.what();
+      }
+      if (candidate.feasible && candidate.gflops > bestGflops) {
+        bestGflops = candidate.gflops;
+        result.bestIndex = result.candidates.size();
+      }
+      result.candidates.push_back(std::move(candidate));
+    }
+  }
+  SW_CHECK(bestGflops > 0.0, "no feasible tile shape found");
+
+  result.searchSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace sw::core

@@ -1,0 +1,52 @@
+// Tile-size auto-tuner.
+//
+// The paper argues (§3.1) that analytical modelling — adopting the vendor
+// micro-kernel's 64x64x32 shape — suffices for GEMM, avoiding the "tedious
+// tuning overhead" of ATLAS-style search [2, 24].  This module provides
+// the search anyway: it enumerates candidate tile shapes, compiles each
+// through the full pipeline, scores them on the timing model, and reports
+// the ranking.  Its purpose is to *validate* the analytical choice (tests
+// assert the tuner lands on 64x64x32) and to quantify the engineering-cost
+// gap between the two approaches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/gemm_runner.h"
+
+namespace sw::core {
+
+struct TuneCandidate {
+  std::int64_t tileM = 0, tileN = 0, tileK = 0;
+  bool feasible = false;    // fits the SPM with double buffering
+  bool hasAsmKernel = false;  // matches the vendor micro-kernel contract
+  double gflops = 0.0;      // 0 when infeasible
+  std::string note;
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct TuneResult {
+  /// Candidates in evaluation order.
+  std::vector<TuneCandidate> candidates;
+  /// Index of the best feasible candidate.
+  std::size_t bestIndex = 0;
+  /// Wall-clock spent searching (the cost the analytical model avoids).
+  double searchSeconds = 0.0;
+
+  [[nodiscard]] const TuneCandidate& best() const {
+    return candidates[bestIndex];
+  }
+};
+
+/// Exhaustively evaluate the default candidate grid (powers of two in
+/// [16, 128] for the parallel tile dims, [16, 64] for the depth) on
+/// `shape`, holding every other option from `base` fixed.
+TuneResult tuneTileSizes(const CodegenOptions& base,
+                         const sunway::ArchConfig& arch,
+                         const GemmProblem& shape);
+
+}  // namespace sw::core

@@ -1,0 +1,77 @@
+// Abstract syntax tree of the C subset the frontend accepts: one function
+// whose body is a nest of counted `for` loops around assignments over
+// VLA-style array parameters (the Fig.2a/Fig.12 input programs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sw::frontend {
+
+// --- expressions -----------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind { kNumber, kVariable, kArrayRef, kBinary, kCall };
+enum class BinaryOp { kAdd, kSub, kMul, kDiv };
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+
+  // kNumber
+  double number = 0.0;
+  // kVariable / kCall (callee) / kArrayRef (array name)
+  std::string name;
+  // kArrayRef: one expression per subscript; kCall: arguments
+  std::vector<ExprPtr> args;
+  // kBinary
+  BinaryOp op = BinaryOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+// --- statements -------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind { kFor, kAssign, kBlock };
+
+struct Stmt {
+  StmtKind kind = StmtKind::kBlock;
+
+  // kFor: for (long var = 0; var < bound; var++) body
+  std::string loopVar;
+  ExprPtr loopBound;  // exclusive upper bound
+  StmtPtr body;
+
+  // kAssign: target = value (+= desugared to target = target + value)
+  ExprPtr target;  // must be an array reference
+  ExprPtr value;
+
+  // kBlock
+  std::vector<StmtPtr> stmts;
+};
+
+// --- declarations -----------------------------------------------------------
+
+struct ParamDecl {
+  enum class Type { kLong, kDouble, kDoubleArray };
+  Type type = Type::kLong;
+  std::string name;
+  /// For kDoubleArray: the dimension expressions, e.g. {M, K}.  Each must
+  /// be a parameter name.
+  std::vector<std::string> dims;
+};
+
+struct FunctionDecl {
+  std::string name;
+  std::vector<ParamDecl> params;
+  StmtPtr body;
+};
+
+}  // namespace sw::frontend

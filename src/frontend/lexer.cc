@@ -1,0 +1,185 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::frontend {
+
+namespace {
+
+struct Cursor {
+  const std::string& source;
+  std::size_t pos = 0;
+  int line = 1;
+  int column = 1;
+
+  [[nodiscard]] bool done() const { return pos >= source.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos + ahead < source.size() ? source[pos + ahead] : '\0';
+  }
+  char advance() {
+    char c = source[pos++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  }
+};
+
+void skipWhitespaceAndComments(Cursor& cur) {
+  while (!cur.done()) {
+    char c = cur.peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+    } else if (c == '/' && cur.peek(1) == '/') {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+    } else if (c == '/' && cur.peek(1) == '*') {
+      cur.advance();
+      cur.advance();
+      while (!cur.done() && !(cur.peek() == '*' && cur.peek(1) == '/'))
+        cur.advance();
+      if (cur.done())
+        throwInput(strCat("unterminated block comment at line ", cur.line));
+      cur.advance();
+      cur.advance();
+    } else {
+      break;
+    }
+  }
+}
+
+TokenKind keywordKind(const std::string& word) {
+  if (word == "void") return TokenKind::kVoid;
+  if (word == "long") return TokenKind::kLong;
+  if (word == "int") return TokenKind::kInt;
+  if (word == "double") return TokenKind::kDouble;
+  if (word == "for") return TokenKind::kFor;
+  return TokenKind::kIdentifier;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  Cursor cur{source};
+  std::vector<Token> tokens;
+  while (true) {
+    skipWhitespaceAndComments(cur);
+    Token token;
+    token.line = cur.line;
+    token.column = cur.column;
+    if (cur.done()) {
+      token.kind = TokenKind::kEnd;
+      tokens.push_back(token);
+      return tokens;
+    }
+    char c = cur.peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (!cur.done() &&
+             (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+              cur.peek() == '_'))
+        word.push_back(cur.advance());
+      token.kind = keywordKind(word);
+      token.text = word;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::string number;
+      while (!cur.done() &&
+             (std::isdigit(static_cast<unsigned char>(cur.peek())) ||
+              cur.peek() == '.' || cur.peek() == 'e' || cur.peek() == 'E' ||
+              ((cur.peek() == '+' || cur.peek() == '-') && !number.empty() &&
+               (number.back() == 'e' || number.back() == 'E'))))
+        number.push_back(cur.advance());
+      token.kind = TokenKind::kNumber;
+      token.text = number;
+      token.numberValue = std::strtod(number.c_str(), nullptr);
+    } else {
+      cur.advance();
+      switch (c) {
+        case '(': token.kind = TokenKind::kLParen; break;
+        case ')': token.kind = TokenKind::kRParen; break;
+        case '{': token.kind = TokenKind::kLBrace; break;
+        case '}': token.kind = TokenKind::kRBrace; break;
+        case '[': token.kind = TokenKind::kLBracket; break;
+        case ']': token.kind = TokenKind::kRBracket; break;
+        case ';': token.kind = TokenKind::kSemicolon; break;
+        case ',': token.kind = TokenKind::kComma; break;
+        case '+':
+          if (cur.peek() == '+') {
+            cur.advance();
+            token.kind = TokenKind::kPlusPlus;
+          } else if (cur.peek() == '=') {
+            cur.advance();
+            token.kind = TokenKind::kPlusAssign;
+          } else {
+            token.kind = TokenKind::kPlus;
+          }
+          break;
+        case '=': token.kind = TokenKind::kAssign; break;
+        case '-': token.kind = TokenKind::kMinus; break;
+        case '*':
+          if (cur.peek() == '=') {
+            cur.advance();
+            token.kind = TokenKind::kStarAssign;
+          } else {
+            token.kind = TokenKind::kStar;
+          }
+          break;
+        case '/': token.kind = TokenKind::kSlash; break;
+        case '<':
+          if (cur.peek() == '=') {
+            cur.advance();
+            token.kind = TokenKind::kLessEqual;
+          } else {
+            token.kind = TokenKind::kLess;
+          }
+          break;
+        default:
+          throwInput(strCat("unexpected character '", std::string(1, c),
+                            "' at line ", token.line, ", column ",
+                            token.column));
+      }
+      token.text = std::string(1, c);
+    }
+    tokens.push_back(token);
+  }
+}
+
+const char* tokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kVoid: return "'void'";
+    case TokenKind::kLong: return "'long'";
+    case TokenKind::kInt: return "'int'";
+    case TokenKind::kDouble: return "'double'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEqual: return "'<='";
+  }
+  return "?";
+}
+
+}  // namespace sw::frontend

@@ -1,0 +1,57 @@
+// Lexer for the naive-C input language (§2.3): the user writes a plain
+// 3D (or 4D batched) loop nest; the compiler does the rest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sw::frontend {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kNumber,
+  // keywords
+  kVoid,
+  kLong,
+  kInt,
+  kDouble,
+  kFor,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemicolon,
+  kComma,
+  kAssign,      // =
+  kPlusAssign,  // +=
+  kStarAssign,  // *=
+  kPlusPlus,    // ++
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kLess,
+  kLessEqual,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double numberValue = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenise `source`; throws InputError on unknown characters.  Line ('//')
+/// and block comments are skipped.
+std::vector<Token> tokenize(const std::string& source);
+
+/// Human-readable token-kind name for diagnostics.
+const char* tokenKindName(TokenKind kind);
+
+}  // namespace sw::frontend

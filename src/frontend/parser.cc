@@ -1,0 +1,272 @@
+#include "frontend/parser.h"
+
+#include "frontend/lexer.h"
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::frontend {
+
+ExprPtr Expr::clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->number = number;
+  copy->name = name;
+  copy->op = op;
+  for (const ExprPtr& a : args) copy->args.push_back(a->clone());
+  if (lhs) copy->lhs = lhs->clone();
+  if (rhs) copy->rhs = rhs->clone();
+  return copy;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  FunctionDecl parse() {
+    FunctionDecl fn = parseFunctionDecl();
+    expect(TokenKind::kEnd);
+    return fn;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
+
+  bool match(TokenKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+
+  const Token& expect(TokenKind kind) {
+    if (!check(kind))
+      throwInput(strCat("expected ", tokenKindName(kind), " but found ",
+                        tokenKindName(peek().kind), " ('", peek().text,
+                        "') at line ", peek().line, ", column ",
+                        peek().column));
+    return tokens_[pos_++];
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throwInput(strCat(message, " at line ", peek().line, ", column ",
+                      peek().column));
+  }
+
+  // --- declarations ---------------------------------------------------
+
+  FunctionDecl parseFunctionDecl() {
+    expect(TokenKind::kVoid);
+    FunctionDecl fn;
+    fn.name = expect(TokenKind::kIdentifier).text;
+    expect(TokenKind::kLParen);
+    if (!check(TokenKind::kRParen)) {
+      do {
+        fn.params.push_back(parseParam());
+      } while (match(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen);
+    fn.body = parseBlock();
+    return fn;
+  }
+
+  ParamDecl parseParam() {
+    ParamDecl param;
+    if (match(TokenKind::kLong) || match(TokenKind::kInt)) {
+      param.type = ParamDecl::Type::kLong;
+      param.name = expect(TokenKind::kIdentifier).text;
+      return param;
+    }
+    expect(TokenKind::kDouble);
+    param.name = expect(TokenKind::kIdentifier).text;
+    if (check(TokenKind::kLBracket)) {
+      param.type = ParamDecl::Type::kDoubleArray;
+      while (match(TokenKind::kLBracket)) {
+        param.dims.push_back(expect(TokenKind::kIdentifier).text);
+        expect(TokenKind::kRBracket);
+      }
+    } else {
+      param.type = ParamDecl::Type::kDouble;
+    }
+    return param;
+  }
+
+  // --- statements -------------------------------------------------------
+
+  StmtPtr parseBlock() {
+    expect(TokenKind::kLBrace);
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    while (!check(TokenKind::kRBrace)) block->stmts.push_back(parseStmt());
+    expect(TokenKind::kRBrace);
+    return block;
+  }
+
+  StmtPtr parseStmt() {
+    if (check(TokenKind::kFor)) return parseFor();
+    if (check(TokenKind::kLBrace)) return parseBlock();
+    return parseAssign();
+  }
+
+  StmtPtr parseFor() {
+    expect(TokenKind::kFor);
+    expect(TokenKind::kLParen);
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kFor;
+    // init: [long|int] var = 0
+    if (!match(TokenKind::kLong)) match(TokenKind::kInt);
+    stmt->loopVar = expect(TokenKind::kIdentifier).text;
+    expect(TokenKind::kAssign);
+    const Token& zero = expect(TokenKind::kNumber);
+    if (zero.numberValue != 0.0)
+      fail("loop lower bounds must be 0 in the accepted GEMM form");
+    expect(TokenKind::kSemicolon);
+    // cond: var < bound
+    const std::string& condVar = expect(TokenKind::kIdentifier).text;
+    if (condVar != stmt->loopVar) fail("loop condition tests a different variable");
+    expect(TokenKind::kLess);
+    stmt->loopBound = parseExpr();
+    expect(TokenKind::kSemicolon);
+    // inc: var++ | ++var | var += 1
+    if (match(TokenKind::kPlusPlus)) {
+      const std::string& incVar = expect(TokenKind::kIdentifier).text;
+      if (incVar != stmt->loopVar) fail("loop increment targets a different variable");
+    } else {
+      const std::string& incVar = expect(TokenKind::kIdentifier).text;
+      if (incVar != stmt->loopVar) fail("loop increment targets a different variable");
+      if (!match(TokenKind::kPlusPlus)) {
+        expect(TokenKind::kPlusAssign);
+        const Token& one = expect(TokenKind::kNumber);
+        if (one.numberValue != 1.0) fail("only unit loop strides are accepted");
+      }
+    }
+    expect(TokenKind::kRParen);
+    stmt->body = parseStmt();
+    return stmt;
+  }
+
+  StmtPtr parseAssign() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kAssign;
+    ExprPtr target = parsePrimary();
+    if (target->kind != ExprKind::kArrayRef)
+      fail("assignment target must be an array element");
+    if (match(TokenKind::kAssign)) {
+      stmt->value = parseExpr();
+    } else if (match(TokenKind::kPlusAssign)) {
+      auto sum = std::make_unique<Expr>();
+      sum->kind = ExprKind::kBinary;
+      sum->op = BinaryOp::kAdd;
+      sum->lhs = target->clone();
+      sum->rhs = parseExpr();
+      stmt->value = std::move(sum);
+    } else if (match(TokenKind::kStarAssign)) {
+      auto product = std::make_unique<Expr>();
+      product->kind = ExprKind::kBinary;
+      product->op = BinaryOp::kMul;
+      product->lhs = target->clone();
+      product->rhs = parseExpr();
+      stmt->value = std::move(product);
+    } else {
+      fail("expected '=', '+=' or '*='");
+    }
+    stmt->target = std::move(target);
+    expect(TokenKind::kSemicolon);
+    return stmt;
+  }
+
+  // --- expressions ------------------------------------------------------
+
+  ExprPtr parseExpr() { return parseAdditive(); }
+
+  ExprPtr parseAdditive() {
+    ExprPtr lhs = parseMultiplicative();
+    while (check(TokenKind::kPlus) || check(TokenKind::kMinus)) {
+      BinaryOp op = match(TokenKind::kPlus) ? BinaryOp::kAdd
+                                            : (advance(), BinaryOp::kSub);
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = parseMultiplicative();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr lhs = parsePrimary();
+    while (check(TokenKind::kStar) || check(TokenKind::kSlash)) {
+      BinaryOp op = match(TokenKind::kStar) ? BinaryOp::kMul
+                                            : (advance(), BinaryOp::kDiv);
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = parsePrimary();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parsePrimary() {
+    if (check(TokenKind::kNumber)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kNumber;
+      node->number = advance().numberValue;
+      return node;
+    }
+    if (match(TokenKind::kLParen)) {
+      ExprPtr inner = parseExpr();
+      expect(TokenKind::kRParen);
+      return inner;
+    }
+    if (check(TokenKind::kIdentifier)) {
+      std::string name = advance().text;
+      if (match(TokenKind::kLParen)) {
+        auto call = std::make_unique<Expr>();
+        call->kind = ExprKind::kCall;
+        call->name = std::move(name);
+        if (!check(TokenKind::kRParen)) {
+          do {
+            call->args.push_back(parseExpr());
+          } while (match(TokenKind::kComma));
+        }
+        expect(TokenKind::kRParen);
+        return call;
+      }
+      if (check(TokenKind::kLBracket)) {
+        auto ref = std::make_unique<Expr>();
+        ref->kind = ExprKind::kArrayRef;
+        ref->name = std::move(name);
+        while (match(TokenKind::kLBracket)) {
+          ref->args.push_back(parseExpr());
+          expect(TokenKind::kRBracket);
+        }
+        return ref;
+      }
+      auto var = std::make_unique<Expr>();
+      var->kind = ExprKind::kVariable;
+      var->name = std::move(name);
+      return var;
+    }
+    fail(strCat("unexpected ", tokenKindName(peek().kind), " in expression"));
+  }
+};
+
+}  // namespace
+
+FunctionDecl parseFunction(const std::string& source) {
+  return Parser(tokenize(source)).parse();
+}
+
+}  // namespace sw::frontend

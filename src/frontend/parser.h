@@ -1,0 +1,14 @@
+// Recursive-descent parser for the C subset (see ast.h).
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace sw::frontend {
+
+/// Parse one function definition.  Throws InputError with line/column
+/// diagnostics on malformed input.
+FunctionDecl parseFunction(const std::string& source);
+
+}  // namespace sw::frontend

@@ -1,0 +1,90 @@
+#include "kernel/microkernel.h"
+
+#include <cmath>
+
+namespace sw::kernel {
+
+namespace {
+
+/// 4x8 register block: accumulates C[4][8] over the full k depth before
+/// touching memory again, mirroring the register allocation the vendor
+/// routine performs between SPM and the CPE register file.
+template <int MR, int NR>
+void registerBlock(double* __restrict c, const double* __restrict a,
+                   const double* __restrict b, std::int64_t n, std::int64_t k,
+                   std::int64_t ldb) {
+  double acc[MR][NR];
+  for (int i = 0; i < MR; ++i)
+    for (int j = 0; j < NR; ++j) acc[i][j] = 0.0;
+  for (std::int64_t p = 0; p < k; ++p) {
+    const double* brow = b + p * ldb;
+    for (int i = 0; i < MR; ++i) {
+      const double av = a[i * k + p];
+      for (int j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  for (int i = 0; i < MR; ++i)
+    for (int j = 0; j < NR; ++j) c[i * n + j] += acc[i][j];
+}
+
+}  // namespace
+
+void dgemmMicroKernel(double* c, const double* a, const double* b,
+                      std::int64_t m, std::int64_t n, std::int64_t k) {
+  constexpr int MR = 4;
+  constexpr int NR = 8;
+  std::int64_t i = 0;
+  for (; i + MR <= m; i += MR) {
+    std::int64_t j = 0;
+    for (; j + NR <= n; j += NR)
+      registerBlock<MR, NR>(c + i * n + j, a + i * k, b + j, n, k, n);
+    // Ragged right edge (never hit with the 64x64x32 contract, but the
+    // kernel stays total for smaller fused shapes).
+    for (; j < n; ++j)
+      for (std::int64_t ii = i; ii < i + MR; ++ii) {
+        double acc = 0.0;
+        for (std::int64_t p = 0; p < k; ++p)
+          acc += a[ii * k + p] * b[p * n + j];
+        c[ii * n + j] += acc;
+      }
+  }
+  for (; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] += acc;
+    }
+}
+
+void dgemmNaiveKernel(double* c, const double* a, const double* b,
+                      std::int64_t m, std::int64_t n, std::int64_t k) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] += acc;
+    }
+}
+
+void tileScale(double* tile, std::int64_t count, double factor) {
+  for (std::int64_t i = 0; i < count; ++i) tile[i] *= factor;
+}
+
+void tileQuantize(double* tile, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i)
+    tile[i] = std::nearbyint(tile[i] * kQuantScale) / kQuantScale;
+}
+
+void tileRelu(double* tile, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i)
+    tile[i] = tile[i] > 0.0 ? tile[i] : 0.0;
+}
+
+void tileTranspose(double* dst, const double* src, std::int64_t srcRows,
+                   std::int64_t srcCols) {
+  for (std::int64_t r = 0; r < srcRows; ++r)
+    for (std::int64_t c = 0; c < srcCols; ++c)
+      dst[c * srcRows + r] = src[r * srcCols + c];
+}
+
+}  // namespace sw::kernel

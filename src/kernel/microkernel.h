@@ -1,0 +1,49 @@
+// Compute kernels executed inside a CPE's SPM.
+//
+// dgemmMicroKernel is the stand-in for the vendor's inline-assembly
+// 64x64x32 routine (§7.2): same shape contract (C 64x64 += A 64x32 * B
+// 32x64, all tiles contiguous row-major in SPM), implemented with register
+// blocking and unrolling so the host compiler emits FMA-vectorised code.
+// dgemmNaiveKernel is the straightforward nest the --no-use-asm path runs.
+//
+// The timing simulator charges these at ArchConfig rates; functionally both
+// must produce bit-identical results to the reference (tests enforce it,
+// since the accumulation order per C element — over k only — is the same).
+#pragma once
+
+#include <cstdint>
+
+namespace sw::kernel {
+
+/// Shape contract of the vendor micro-kernel.
+inline constexpr std::int64_t kMicroM = 64;
+inline constexpr std::int64_t kMicroN = 64;
+inline constexpr std::int64_t kMicroK = 32;
+
+/// C[m x n] += A[m x k] * B[k x n]; contiguous row-major tiles.
+/// Optimised register-blocked implementation (the "assembly" routine).
+void dgemmMicroKernel(double* c, const double* a, const double* b,
+                      std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Same contract, deliberately naive triple loop (--no-use-asm).
+void dgemmNaiveKernel(double* c, const double* a, const double* b,
+                      std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Element-wise SPM-tile operations used by the pipeline and the fusion
+/// patterns (§7.3).
+void tileScale(double* tile, std::int64_t count, double factor);
+
+/// The quantization prologue of §8.4: x -> round(x * kQuantScale) /
+/// kQuantScale.  Deterministic and idempotent-friendly for tests.
+inline constexpr double kQuantScale = 16.0;
+void tileQuantize(double* tile, std::int64_t count);
+
+/// The activation epilogue of §8.4: ReLU.
+void tileRelu(double* tile, std::int64_t count);
+
+/// dst[c][r] = src[r][c] for a srcRows x srcCols tile (both contiguous
+/// row-major); used by the transposed-operand GEMM variants.
+void tileTranspose(double* dst, const double* src, std::int64_t srcRows,
+                   std::int64_t srcCols);
+
+}  // namespace sw::kernel

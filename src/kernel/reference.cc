@@ -1,0 +1,58 @@
+#include "kernel/reference.h"
+
+#include <cmath>
+#include <vector>
+
+namespace sw::kernel {
+
+void referenceGemm(double* c, const double* a, const double* b,
+                   std::int64_t m, std::int64_t n, std::int64_t k,
+                   double alpha, double beta, std::int64_t kBlock,
+                   const std::function<double(double)>& transformA,
+                   const std::function<double(double)>& epilogueC) {
+  // Pre-transform A exactly as the pipeline does on the SPM tile:
+  // prologue first (fused quantization), then the alpha fold.
+  std::vector<double> aPrime(static_cast<std::size_t>(m * k));
+  for (std::int64_t i = 0; i < m * k; ++i) {
+    double v = a[i];
+    if (transformA) v = transformA(v);
+    aPrime[static_cast<std::size_t>(i)] = v * alpha;
+  }
+
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) c[i * n + j] *= beta;
+
+  for (std::int64_t kb = 0; kb < k; kb += kBlock) {
+    const std::int64_t kEnd = kb + kBlock < k ? kb + kBlock : k;
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::int64_t p = kb; p < kEnd; ++p)
+          acc += aPrime[static_cast<std::size_t>(i * k + p)] * b[p * n + j];
+        c[i * n + j] += acc;
+      }
+  }
+
+  if (epilogueC)
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] = epilogueC(c[i]);
+}
+
+void referenceBatchedGemm(double* c, const double* a, const double* b,
+                          std::int64_t batch, std::int64_t m, std::int64_t n,
+                          std::int64_t k, double alpha, double beta,
+                          std::int64_t kBlock) {
+  for (std::int64_t bi = 0; bi < batch; ++bi)
+    referenceGemm(c + bi * m * n, a + bi * m * k, b + bi * k * n, m, n, k,
+                  alpha, beta, kBlock);
+}
+
+double maxAbsDiff(const double* x, const double* y, std::int64_t count) {
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const double d = std::fabs(x[i] - y[i]);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+}  // namespace sw::kernel

@@ -1,0 +1,34 @@
+// Reference implementations used as numerical oracles by tests and
+// examples.
+//
+// referenceGemm reproduces the generated pipeline's accumulation structure
+// exactly: C is scaled by beta once, A contributions are accumulated in
+// k-blocks of `kBlock` (the micro-kernel depth), each block reduced
+// innermost-first, and alpha is folded into the A operand — so results
+// match the simulator bit-for-bit, not merely within tolerance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace sw::kernel {
+
+/// C[M x N] = alpha * op(A[M x K]) * B[K x N] + beta * C, row-major.
+/// `transformA` is the optional fused prologue applied to each A element
+/// (after the alpha fold mirrors the pipeline: quantize first, then alpha).
+void referenceGemm(double* c, const double* a, const double* b,
+                   std::int64_t m, std::int64_t n, std::int64_t k,
+                   double alpha, double beta, std::int64_t kBlock = 32,
+                   const std::function<double(double)>& transformA = nullptr,
+                   const std::function<double(double)>& epilogueC = nullptr);
+
+/// Batched variant over contiguous batch-major operands.
+void referenceBatchedGemm(double* c, const double* a, const double* b,
+                          std::int64_t batch, std::int64_t m, std::int64_t n,
+                          std::int64_t k, double alpha, double beta,
+                          std::int64_t kBlock = 32);
+
+/// Maximum absolute element difference between two buffers.
+double maxAbsDiff(const double* x, const double* y, std::int64_t count);
+
+}  // namespace sw::kernel

@@ -1,0 +1,198 @@
+#include "poly/affine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.h"
+#include "support/format.h"
+#include "support/math_util.h"
+
+namespace sw::poly {
+
+bool FloorDivTerm::operator==(const FloorDivTerm& other) const {
+  return coeff == other.coeff && denominator == other.denominator &&
+         *numerator == *other.numerator;
+}
+
+AffineExpr AffineExpr::constant(std::int64_t value) {
+  AffineExpr e;
+  e.constant_ = value;
+  return e;
+}
+
+AffineExpr AffineExpr::dim(const std::string& name) {
+  SW_CHECK(!name.empty(), "dimension name must be non-empty");
+  AffineExpr e;
+  e.coeffs_[name] = 1;
+  return e;
+}
+
+AffineExpr AffineExpr::floorDiv(const AffineExpr& numerator,
+                                std::int64_t denominator) {
+  SW_CHECK(denominator > 0, "floordiv denominator must be positive");
+  if (denominator == 1) return numerator;
+  if (numerator.isConstant())
+    return constant(sw::floorDiv(numerator.constantTerm(), denominator));
+  // floor(floor(e/a)/b) == floor(e/(a*b)); this fires when strip-mining a
+  // tiled dimension (Fig.6: floor(floor(k/32)/8) = floor(k/256)).
+  if (numerator.coeffs_.empty() && numerator.constant_ == 0 &&
+      numerator.divs_.size() == 1 && numerator.divs_[0].coeff == 1) {
+    const FloorDivTerm& inner = numerator.divs_[0];
+    return floorDiv(*inner.numerator, inner.denominator * denominator);
+  }
+  AffineExpr e;
+  e.divs_.push_back(FloorDivTerm{
+      1, std::make_shared<const AffineExpr>(numerator), denominator});
+  return e;
+}
+
+void AffineExpr::addCoefficient(const std::string& dim, std::int64_t coeff) {
+  auto [it, inserted] = coeffs_.try_emplace(dim, coeff);
+  if (!inserted) it->second += coeff;
+}
+
+void AffineExpr::normalize() {
+  for (auto it = coeffs_.begin(); it != coeffs_.end();) {
+    if (it->second == 0)
+      it = coeffs_.erase(it);
+    else
+      ++it;
+  }
+  divs_.erase(std::remove_if(divs_.begin(), divs_.end(),
+                             [](const FloorDivTerm& t) { return t.coeff == 0; }),
+              divs_.end());
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& other) const {
+  AffineExpr result = *this;
+  result.constant_ += other.constant_;
+  for (const auto& [dim, coeff] : other.coeffs_)
+    result.addCoefficient(dim, coeff);
+  for (const auto& term : other.divs_) {
+    // Merge structurally identical floordiv terms.
+    bool merged = false;
+    for (auto& mine : result.divs_) {
+      if (mine.denominator == term.denominator &&
+          *mine.numerator == *term.numerator) {
+        mine.coeff += term.coeff;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) result.divs_.push_back(term);
+  }
+  result.normalize();
+  return result;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& other) const {
+  return *this + (other * -1);
+}
+
+AffineExpr AffineExpr::operator*(std::int64_t scalar) const {
+  AffineExpr result = *this;
+  result.constant_ *= scalar;
+  for (auto& [dim, coeff] : result.coeffs_) coeff *= scalar;
+  for (auto& term : result.divs_) term.coeff *= scalar;
+  result.normalize();
+  return result;
+}
+
+bool AffineExpr::operator==(const AffineExpr& other) const {
+  if (constant_ != other.constant_ || coeffs_ != other.coeffs_) return false;
+  if (divs_.size() != other.divs_.size()) return false;
+  for (std::size_t i = 0; i < divs_.size(); ++i)
+    if (!(divs_[i] == other.divs_[i])) return false;
+  return true;
+}
+
+std::int64_t AffineExpr::coefficient(const std::string& dim) const {
+  auto it = coeffs_.find(dim);
+  return it == coeffs_.end() ? 0 : it->second;
+}
+
+std::optional<std::string> AffineExpr::asSingleDim() const {
+  if (constant_ != 0 || !divs_.empty() || coeffs_.size() != 1) return {};
+  const auto& [name, coeff] = *coeffs_.begin();
+  if (coeff != 1) return {};
+  return name;
+}
+
+std::vector<std::string> AffineExpr::collectDims() const {
+  std::set<std::string> names;
+  for (const auto& [dim, coeff] : coeffs_) {
+    (void)coeff;
+    names.insert(dim);
+  }
+  for (const auto& term : divs_)
+    for (const auto& inner : term.numerator->collectDims()) names.insert(inner);
+  return {names.begin(), names.end()};
+}
+
+AffineExpr AffineExpr::substitute(const std::string& dim,
+                                  const AffineExpr& replacement) const {
+  AffineExpr result = AffineExpr::constant(constant_);
+  for (const auto& [name, coeff] : coeffs_) {
+    if (name == dim)
+      result = result + replacement * coeff;
+    else
+      result = result + AffineExpr::dim(name) * coeff;
+  }
+  for (const auto& term : divs_) {
+    AffineExpr numerator = term.numerator->substitute(dim, replacement);
+    result =
+        result + AffineExpr::floorDiv(numerator, term.denominator) * term.coeff;
+  }
+  return result;
+}
+
+std::int64_t AffineExpr::evaluate(
+    const std::map<std::string, std::int64_t>& env) const {
+  std::int64_t value = constant_;
+  for (const auto& [dim, coeff] : coeffs_) {
+    auto it = env.find(dim);
+    SW_CHECK(it != env.end(), strCat("unbound dimension '", dim, "'"));
+    value += coeff * it->second;
+  }
+  for (const auto& term : divs_)
+    value +=
+        term.coeff * sw::floorDiv(term.numerator->evaluate(env), term.denominator);
+  return value;
+}
+
+std::string AffineExpr::toString() const {
+  std::vector<std::string> parts;
+  for (const auto& [dim, coeff] : coeffs_) {
+    if (coeff == 1)
+      parts.push_back(dim);
+    else if (coeff == -1)
+      parts.push_back(strCat("-", dim));
+    else
+      parts.push_back(strCat(coeff, "*", dim));
+  }
+  for (const auto& term : divs_) {
+    std::string body =
+        strCat("floor((", term.numerator->toString(), ")/", term.denominator, ")");
+    if (term.coeff == 1)
+      parts.push_back(body);
+    else if (term.coeff == -1)
+      parts.push_back(strCat("-", body));
+    else
+      parts.push_back(strCat(term.coeff, "*", body));
+  }
+  if (constant_ != 0 || parts.empty()) parts.push_back(strCat(constant_));
+  std::string out = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    if (!parts[i].empty() && parts[i][0] == '-')
+      out += strCat(" - ", parts[i].substr(1));
+    else
+      out += strCat(" + ", parts[i]);
+  }
+  return out;
+}
+
+AffineExpr tilePointExpr(const AffineExpr& d, std::int64_t size) {
+  return d - AffineExpr::floorDiv(d, size) * size;
+}
+
+}  // namespace sw::poly

@@ -1,0 +1,111 @@
+// Affine expressions over named dimensions, the foundation of the restricted
+// polyhedral layer.
+//
+// An AffineExpr is
+//     sum_i  c_i * dim_i  +  sum_j  c_j * floor(e_j / d_j)  +  constant
+// where each e_j is itself an AffineExpr without floordiv terms of its own
+// nesting beyond what the GEMM pipeline requires (tiling introduces one level
+// of floordiv; strip-mining of a tiled dimension introduces floordivs of
+// floordivs, which compose naturally here because the payload of a FloorDiv
+// term is an arbitrary AffineExpr).
+//
+// Dimensions are identified by name.  Names fall into three classes by
+// convention (the classes only matter to the consumers, not to the algebra):
+//   * loop iterators:        "i", "j", "k", "b", ...
+//   * structure parameters:  "M", "N", "K", "B"
+//   * hardware bindings:     "Rid", "Cid"
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sw::poly {
+
+class AffineExpr;
+
+/// One floor-division term: coeff * floor(numerator / denominator).
+struct FloorDivTerm {
+  std::int64_t coeff;
+  std::shared_ptr<const AffineExpr> numerator;
+  std::int64_t denominator;  // > 0
+
+  bool operator==(const FloorDivTerm& other) const;
+};
+
+/// Immutable-by-convention affine expression.  All mutating operators return
+/// a new value; the class is cheap to copy for the sizes this project uses.
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+
+  /// The constant `value`.
+  static AffineExpr constant(std::int64_t value);
+  /// The dimension `name` with coefficient 1.
+  static AffineExpr dim(const std::string& name);
+  /// floor(numerator / denominator); denominator must be positive.
+  static AffineExpr floorDiv(const AffineExpr& numerator,
+                             std::int64_t denominator);
+
+  AffineExpr operator+(const AffineExpr& other) const;
+  AffineExpr operator-(const AffineExpr& other) const;
+  AffineExpr operator*(std::int64_t scalar) const;
+  AffineExpr operator-() const { return *this * -1; }
+
+  bool operator==(const AffineExpr& other) const;
+
+  [[nodiscard]] std::int64_t constantTerm() const { return constant_; }
+  [[nodiscard]] std::int64_t coefficient(const std::string& dim) const;
+  [[nodiscard]] const std::map<std::string, std::int64_t>& coefficients()
+      const {
+    return coeffs_;
+  }
+  [[nodiscard]] const std::vector<FloorDivTerm>& floorDivTerms() const {
+    return divs_;
+  }
+
+  /// True if the expression has no dimension and no floordiv terms.
+  [[nodiscard]] bool isConstant() const {
+    return coeffs_.empty() && divs_.empty();
+  }
+  /// True if the expression is exactly one dimension with coefficient 1 and
+  /// no other terms; returns the name in that case.
+  [[nodiscard]] std::optional<std::string> asSingleDim() const;
+  /// True if the expression contains no floordiv terms (pure linear).
+  [[nodiscard]] bool isLinear() const { return divs_.empty(); }
+
+  /// All dimension names appearing anywhere in the expression, including
+  /// inside floordiv numerators.
+  [[nodiscard]] std::vector<std::string> collectDims() const;
+
+  /// Substitute `dim` by `replacement` everywhere (including inside
+  /// floordivs).
+  [[nodiscard]] AffineExpr substitute(const std::string& dim,
+                                      const AffineExpr& replacement) const;
+
+  /// Evaluate with the given dimension values.  Throws InternalError if a
+  /// dimension is missing from `env`.
+  [[nodiscard]] std::int64_t evaluate(
+      const std::map<std::string, std::int64_t>& env) const;
+
+  /// Render in the paper's floor-bracket-free ASCII style, e.g.
+  /// "i - 64*floor(i/64)".
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  void addCoefficient(const std::string& dim, std::int64_t coeff);
+  void normalize();
+
+  std::map<std::string, std::int64_t> coeffs_;
+  std::vector<FloorDivTerm> divs_;
+  std::int64_t constant_ = 0;
+};
+
+/// Convenience builders mirroring common tiling forms.
+/// tilePoint(d, s) = d - s*floor(d/s), the within-tile coordinate.
+AffineExpr tilePointExpr(const AffineExpr& d, std::int64_t size);
+
+}  // namespace sw::poly

@@ -1,0 +1,213 @@
+#include "poly/dependence.h"
+
+#include <map>
+#include <set>
+
+#include "poly/linear_system.h"
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::poly {
+
+namespace {
+
+/// Maps dimension names to LinearSystem columns.  Source iterator dims get a
+/// "s$" prefix, sink dims a "t$" prefix; parameters keep their own name and
+/// are shared between source and sink.
+class ColumnTable {
+ public:
+  std::size_t column(const std::string& name) {
+    auto [it, inserted] = table_.try_emplace(name, table_.size());
+    (void)inserted;
+    return it->second;
+  }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+ private:
+  std::map<std::string, std::size_t> table_;
+};
+
+/// Lower an affine expression (which must be linear) into a coefficient row,
+/// renaming iterator dims with `prefix` and leaving parameter dims alone.
+void accumulateExpr(const AffineExpr& expr, const std::set<std::string>& iters,
+                    const std::string& prefix, std::int64_t scale,
+                    ColumnTable& columns,
+                    std::map<std::size_t, std::int64_t>& row,
+                    std::int64_t& constant) {
+  SW_CHECK(expr.isLinear(),
+           "dependence analysis requires div-free access/domain expressions");
+  constant += scale * expr.constantTerm();
+  for (const auto& [dim, coeff] : expr.coefficients()) {
+    std::string name = iters.count(dim) != 0 ? prefix + dim : dim;
+    row[columns.column(name)] += scale * coeff;
+  }
+}
+
+struct RowBuilder {
+  ColumnTable& columns;
+  std::vector<std::pair<std::map<std::size_t, std::int64_t>, std::int64_t>>
+      geRows;
+  std::vector<std::pair<std::map<std::size_t, std::int64_t>, std::int64_t>>
+      eqRows;
+
+  void addExprGe(const AffineExpr& expr, const std::set<std::string>& iters,
+                 const std::string& prefix) {
+    std::map<std::size_t, std::int64_t> row;
+    std::int64_t constant = 0;
+    accumulateExpr(expr, iters, prefix, 1, columns, row, constant);
+    geRows.emplace_back(std::move(row), constant);
+  }
+
+  /// a - b (with independent prefixes) `kind` 0.
+  void addDiff(const AffineExpr& a, const std::string& prefixA,
+               const AffineExpr& b, const std::string& prefixB,
+               const std::set<std::string>& iters, bool equality,
+               std::int64_t bias = 0) {
+    std::map<std::size_t, std::int64_t> row;
+    std::int64_t constant = bias;
+    accumulateExpr(a, iters, prefixA, 1, columns, row, constant);
+    accumulateExpr(b, iters, prefixB, -1, columns, row, constant);
+    if (equality)
+      eqRows.emplace_back(std::move(row), constant);
+    else
+      geRows.emplace_back(std::move(row), constant);
+  }
+
+  [[nodiscard]] LinearSystem build() const {
+    LinearSystem system(columns.size());
+    auto densify = [&](const std::map<std::size_t, std::int64_t>& row) {
+      std::vector<std::int64_t> coeffs(columns.size(), 0);
+      for (const auto& [col, coeff] : row) coeffs[col] = coeff;
+      return coeffs;
+    };
+    for (const auto& [row, constant] : geRows)
+      system.add(densify(row), constant, LinearConstraint::Kind::kGe);
+    for (const auto& [row, constant] : eqRows)
+      system.add(densify(row), constant, LinearConstraint::Kind::kEq);
+    return system;
+  }
+};
+
+}  // namespace
+
+std::string Dependence::toString() const {
+  return strCat(statement, ": ", sourceIsWrite ? "W" : "R", "->",
+                sinkIsWrite ? "W" : "R", " on ", arrayName,
+                " carried at level ", level);
+}
+
+DependenceAnalysis::DependenceAnalysis(std::vector<StatementInfo> statements)
+    : statements_(std::move(statements)) {}
+
+const StatementInfo& DependenceAnalysis::lookup(const std::string& name) const {
+  for (const StatementInfo& s : statements_)
+    if (s.name == name) return s;
+  throwInternal(strCat("unknown statement '", name, "'"));
+}
+
+bool DependenceAnalysis::dependenceExists(const StatementInfo& stmt,
+                                          const AccessRelation& src,
+                                          const AccessRelation& snk,
+                                          std::size_t carryLevel,
+                                          int negativeAtLevel) const {
+  const std::vector<std::string>& dims = stmt.domain.dims();
+  SW_CHECK(carryLevel < dims.size(), "carry level out of range");
+  std::set<std::string> iters(dims.begin(), dims.end());
+
+  ColumnTable columns;
+  RowBuilder builder{columns, {}, {}};
+
+  // Both endpoints lie in the statement domain.
+  for (const Constraint& c : stmt.domain.constraints()) {
+    if (c.kind == Constraint::Kind::kEq) {
+      builder.addDiff(c.expr, "s$", AffineExpr::constant(0), "s$", iters,
+                      /*equality=*/true);
+      builder.addDiff(c.expr, "t$", AffineExpr::constant(0), "t$", iters,
+                      /*equality=*/true);
+    } else {
+      builder.addExprGe(c.expr, iters, "s$");
+      builder.addExprGe(c.expr, iters, "t$");
+    }
+  }
+
+  // Conflicting accesses touch the same array element.
+  SW_CHECK(src.map.numOutputs() == snk.map.numOutputs(),
+           "access rank mismatch for the same array");
+  for (std::size_t d = 0; d < src.map.numOutputs(); ++d)
+    builder.addDiff(src.map.outputs()[d], "s$", snk.map.outputs()[d], "t$",
+                    iters, /*equality=*/true);
+
+  // Lexicographic order: equal before carryLevel, strictly smaller at it.
+  for (std::size_t d = 0; d < carryLevel; ++d)
+    builder.addDiff(AffineExpr::dim(dims[d]), "s$", AffineExpr::dim(dims[d]),
+                    "t$", iters, /*equality=*/true);
+  // t[carry] - s[carry] - 1 >= 0
+  builder.addDiff(AffineExpr::dim(dims[carryLevel]), "t$",
+                  AffineExpr::dim(dims[carryLevel]), "s$", iters,
+                  /*equality=*/false, /*bias=*/-1);
+
+  // Optional negative-distance probe for permutability: s[l] - t[l] - 1 >= 0.
+  if (negativeAtLevel >= 0) {
+    std::size_t l = static_cast<std::size_t>(negativeAtLevel);
+    SW_CHECK(l < dims.size(), "probe level out of range");
+    builder.addDiff(AffineExpr::dim(dims[l]), "s$", AffineExpr::dim(dims[l]),
+                    "t$", iters, /*equality=*/false, /*bias=*/-1);
+  }
+
+  return builder.build().isFeasible();
+}
+
+bool DependenceAnalysis::isLoopParallel(const std::string& statement,
+                                        std::size_t level) const {
+  const StatementInfo& stmt = lookup(statement);
+  for (const AccessRelation& src : stmt.accesses) {
+    for (const AccessRelation& snk : stmt.accesses) {
+      if (!src.isWrite && !snk.isWrite) continue;
+      if (src.arrayName != snk.arrayName) continue;
+      if (dependenceExists(stmt, src, snk, level, /*negativeAtLevel=*/-1))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool DependenceAnalysis::isBandPermutable(const std::string& statement,
+                                          std::size_t begin,
+                                          std::size_t end) const {
+  const StatementInfo& stmt = lookup(statement);
+  for (const AccessRelation& src : stmt.accesses) {
+    for (const AccessRelation& snk : stmt.accesses) {
+      if (!src.isWrite && !snk.isWrite) continue;
+      if (src.arrayName != snk.arrayName) continue;
+      for (std::size_t carry = begin; carry < end; ++carry) {
+        for (std::size_t probe = begin; probe < end; ++probe) {
+          if (probe == carry) continue;  // carried level has distance >= 1
+          if (dependenceExists(stmt, src, snk, carry,
+                               static_cast<int>(probe)))
+            return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<Dependence> DependenceAnalysis::selfDependences(
+    const std::string& statement) const {
+  const StatementInfo& stmt = lookup(statement);
+  std::vector<Dependence> result;
+  for (const AccessRelation& src : stmt.accesses) {
+    for (const AccessRelation& snk : stmt.accesses) {
+      if (!src.isWrite && !snk.isWrite) continue;
+      if (src.arrayName != snk.arrayName) continue;
+      for (std::size_t level = 0; level < stmt.domain.dims().size(); ++level) {
+        if (dependenceExists(stmt, src, snk, level, /*negativeAtLevel=*/-1))
+          result.push_back(Dependence{statement, src.arrayName, level,
+                                      src.isWrite, snk.isWrite});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sw::poly

@@ -1,0 +1,81 @@
+// Dependence analysis for the restricted polyhedral layer.
+//
+// Given the statements of an input program (domains + access relations),
+// this module answers the two questions the GEMM pipeline needs, the same
+// two attributes isl attaches to the initial band (§2.2 of the paper):
+//   * which loop dimensions of a statement are parallel, and
+//   * whether the whole loop band is fully permutable (tilable).
+//
+// Dependences are computed exactly on the dependence polyhedron
+//     { (s, t) : s, t in domain, access_a(s) = access_b(t), s <lex t }
+// using Fourier–Motzkin emptiness tests.  Structure parameters (M, N, K, B)
+// are treated as unconstrained non-negative symbols, so the answers hold for
+// every problem size.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "poly/set.h"
+
+namespace sw::poly {
+
+/// Everything the analysis needs to know about one statement.
+struct StatementInfo {
+  std::string name;
+  IntegerSet domain;
+  std::vector<AccessRelation> accesses;
+};
+
+/// A witness that some dependence is carried at `level` of `statement`'s
+/// loop nest, between the two named accesses.
+struct Dependence {
+  std::string statement;
+  std::string arrayName;
+  std::size_t level;  // loop dimension carrying the dependence
+  bool sourceIsWrite;
+  bool sinkIsWrite;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+class DependenceAnalysis {
+ public:
+  explicit DependenceAnalysis(std::vector<StatementInfo> statements);
+
+  /// True if no dependence of `statement` is carried at loop `level`
+  /// (i.e. the loop can run its iterations in parallel).
+  [[nodiscard]] bool isLoopParallel(const std::string& statement,
+                                    std::size_t level) const;
+
+  /// True if the band [begin, end) of `statement`'s loops is fully
+  /// permutable: every dependence has non-negative distance in every band
+  /// dimension.  Full permutability of the whole nest is the paper's
+  /// tilability condition.
+  [[nodiscard]] bool isBandPermutable(const std::string& statement,
+                                      std::size_t begin,
+                                      std::size_t end) const;
+
+  /// All carried self-dependences of `statement`, one witness per
+  /// (access pair, carrying level) that is non-empty.
+  [[nodiscard]] std::vector<Dependence> selfDependences(
+      const std::string& statement) const;
+
+ private:
+  [[nodiscard]] const StatementInfo& lookup(const std::string& name) const;
+
+  /// Emptiness test for the polyhedron
+  ///   { (s, t) : constraints(statement, pair, carryLevel) and extra }
+  /// where `extra` optionally forces distance at `testLevel` to be negative
+  /// (for permutability) or is absent (for existence).
+  [[nodiscard]] bool dependenceExists(const StatementInfo& stmt,
+                                      const AccessRelation& src,
+                                      const AccessRelation& snk,
+                                      std::size_t carryLevel,
+                                      int negativeAtLevel /* -1 = none */) const;
+
+  std::vector<StatementInfo> statements_;
+};
+
+}  // namespace sw::poly

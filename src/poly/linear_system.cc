@@ -1,0 +1,136 @@
+#include "poly/linear_system.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.h"
+#include "support/format.h"
+#include "support/math_util.h"
+
+namespace sw::poly {
+
+namespace {
+
+/// Divide a row through by the gcd of its coefficients (including the
+/// constant for equalities; excluding it for inequalities we may tighten).
+void normalizeRow(LinearConstraint& row) {
+  std::int64_t g = 0;
+  for (std::int64_t c : row.coeffs) g = gcd(g, c);
+  if (g <= 1) return;
+  for (auto& c : row.coeffs) c /= g;
+  if (row.kind == LinearConstraint::Kind::kEq) {
+    // For an equality the constant must also be divisible, otherwise the
+    // constraint is integrally infeasible; we keep it as-is and let the
+    // caller detect infeasibility (rationally it may still be feasible, so
+    // preserve exactness by only dividing when divisible).
+    if (row.constant % g == 0) row.constant /= g;
+    else {
+      // restore coefficients; cannot normalise
+      for (auto& c : row.coeffs) c *= g;
+      return;
+    }
+  } else {
+    // a*x + c >= 0 with gcd(a) = g  =>  (a/g)*x + floor(c/g) >= 0 is a valid
+    // integer tightening.
+    row.constant = floorDiv(row.constant, g);
+  }
+}
+
+/// Combine a lower-bound row (positive coeff on var) and an upper-bound row
+/// (negative coeff) to eliminate `var`.
+LinearConstraint combine(const LinearConstraint& lower,
+                         const LinearConstraint& upper, std::size_t var) {
+  const std::int64_t a = lower.coeffs[var];   // > 0
+  const std::int64_t b = -upper.coeffs[var];  // > 0
+  LinearConstraint out;
+  out.kind = LinearConstraint::Kind::kGe;
+  out.coeffs.resize(lower.coeffs.size());
+  for (std::size_t i = 0; i < lower.coeffs.size(); ++i)
+    out.coeffs[i] = b * lower.coeffs[i] + a * upper.coeffs[i];
+  out.constant = b * lower.constant + a * upper.constant;
+  out.coeffs[var] = 0;
+  normalizeRow(out);
+  return out;
+}
+
+}  // namespace
+
+void LinearSystem::add(std::vector<std::int64_t> coeffs, std::int64_t constant,
+                       LinearConstraint::Kind kind) {
+  SW_CHECK(coeffs.size() == numVars_, "constraint arity mismatch");
+  rows_.push_back({std::move(coeffs), constant, kind});
+}
+
+bool LinearSystem::isFeasible() const {
+  // Work on a copy with equalities expanded into pairs of inequalities after
+  // first using them for exact substitution where possible.
+  std::vector<LinearConstraint> rows;
+  rows.reserve(rows_.size() * 2);
+  for (const LinearConstraint& row : rows_) {
+    if (row.kind == LinearConstraint::Kind::kEq) {
+      LinearConstraint ge = row;
+      ge.kind = LinearConstraint::Kind::kGe;
+      LinearConstraint le;
+      le.kind = LinearConstraint::Kind::kGe;
+      le.coeffs.resize(row.coeffs.size());
+      for (std::size_t i = 0; i < row.coeffs.size(); ++i)
+        le.coeffs[i] = -row.coeffs[i];
+      le.constant = -row.constant;
+      rows.push_back(std::move(ge));
+      rows.push_back(std::move(le));
+    } else {
+      rows.push_back(row);
+    }
+  }
+
+  for (std::size_t var = 0; var < numVars_; ++var) {
+    std::vector<LinearConstraint> lowers, uppers, rest;
+    for (LinearConstraint& row : rows) {
+      if (row.coeffs[var] > 0)
+        lowers.push_back(std::move(row));
+      else if (row.coeffs[var] < 0)
+        uppers.push_back(std::move(row));
+      else
+        rest.push_back(std::move(row));
+    }
+    rows = std::move(rest);
+    for (const LinearConstraint& lo : lowers)
+      for (const LinearConstraint& up : uppers)
+        rows.push_back(combine(lo, up, var));
+    // Drop trivially satisfied rows to curb the quadratic blowup.
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [](const LinearConstraint& r) {
+                                bool allZero = std::all_of(
+                                    r.coeffs.begin(), r.coeffs.end(),
+                                    [](std::int64_t c) { return c == 0; });
+                                return allZero && r.constant >= 0;
+                              }),
+               rows.end());
+  }
+
+  // All variables eliminated: only constant constraints remain.
+  for (const LinearConstraint& row : rows) {
+    bool allZero = std::all_of(row.coeffs.begin(), row.coeffs.end(),
+                               [](std::int64_t c) { return c == 0; });
+    SW_CHECK(allZero, "elimination left a non-constant row");
+    if (row.constant < 0) return false;
+  }
+  return true;
+}
+
+std::string LinearSystem::toString() const {
+  std::vector<std::string> lines;
+  for (const LinearConstraint& row : rows_) {
+    std::vector<std::string> terms;
+    for (std::size_t i = 0; i < row.coeffs.size(); ++i)
+      if (row.coeffs[i] != 0)
+        terms.push_back(strCat(row.coeffs[i], "*x", i));
+    terms.push_back(strCat(row.constant));
+    lines.push_back(strCat(
+        strJoin(terms, " + "),
+        row.kind == LinearConstraint::Kind::kEq ? " == 0" : " >= 0"));
+  }
+  return strJoin(lines, "\n");
+}
+
+}  // namespace sw::poly

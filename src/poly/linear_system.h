@@ -1,0 +1,54 @@
+// A dense linear constraint system with Fourier–Motzkin elimination, used to
+// decide emptiness of dependence polyhedra.
+//
+// Variables are indexed columns; each row is a constraint
+//     a_0 x_0 + ... + a_{n-1} x_{n-1} + c  (>= 0 | == 0).
+// Elimination is rational; because every system built by the dependence
+// analysis has unimodular-style coefficients (loop bounds and subscript
+// equalities with coefficients in {-1, 0, 1} plus symbolic parameters kept
+// as columns), rational emptiness coincides with integer emptiness for our
+// use cases.  Coefficients are normalised by their gcd after every
+// combination step to keep magnitudes small.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sw::poly {
+
+/// One linear constraint row.  `coeffs[i]` multiplies variable i; `constant`
+/// is the trailing term.  Meaning: sum + constant >= 0, or == 0 for kEq.
+struct LinearConstraint {
+  enum class Kind { kGe, kEq };
+  std::vector<std::int64_t> coeffs;
+  std::int64_t constant = 0;
+  Kind kind = Kind::kGe;
+};
+
+class LinearSystem {
+ public:
+  explicit LinearSystem(std::size_t numVars) : numVars_(numVars) {}
+
+  [[nodiscard]] std::size_t numVars() const { return numVars_; }
+  [[nodiscard]] const std::vector<LinearConstraint>& constraints() const {
+    return rows_;
+  }
+
+  /// Append a constraint; `coeffs` must have exactly numVars entries.
+  void add(std::vector<std::int64_t> coeffs, std::int64_t constant,
+           LinearConstraint::Kind kind);
+
+  /// Decide whether the rational relaxation of the system has a solution.
+  /// Eliminates every variable with Fourier–Motzkin and checks the residual
+  /// constant constraints.
+  [[nodiscard]] bool isFeasible() const;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::size_t numVars_;
+  std::vector<LinearConstraint> rows_;
+};
+
+}  // namespace sw::poly

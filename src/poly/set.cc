@@ -1,0 +1,97 @@
+#include "poly/set.h"
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::poly {
+
+std::string Constraint::toString() const {
+  return strCat(expr.toString(), kind == Kind::kEq ? " = 0" : " >= 0");
+}
+
+void IntegerSet::addRange(const std::string& dim, const AffineExpr& extent) {
+  // dim >= 0
+  addGe(AffineExpr::dim(dim));
+  // extent - dim - 1 >= 0  (i.e. dim < extent)
+  addGe(extent - AffineExpr::dim(dim) - AffineExpr::constant(1));
+}
+
+bool IntegerSet::contains(
+    const std::map<std::string, std::int64_t>& point) const {
+  for (const Constraint& c : constraints_) {
+    std::int64_t v = c.expr.evaluate(point);
+    if (c.kind == Constraint::Kind::kEq ? v != 0 : v < 0) return false;
+  }
+  return true;
+}
+
+std::optional<DimBounds> IntegerSet::simpleBounds(
+    const std::string& dim) const {
+  std::optional<AffineExpr> lower;
+  std::optional<AffineExpr> upper;
+  for (const Constraint& c : constraints_) {
+    if (c.kind != Constraint::Kind::kGe) continue;
+    std::int64_t coeff = c.expr.coefficient(dim);
+    if (coeff == 0) continue;
+    // Require the rest of the constraint to be independent of `dim`.
+    AffineExpr rest = c.expr - AffineExpr::dim(dim) * coeff;
+    bool restUsesDim = false;
+    for (const auto& name : rest.collectDims())
+      if (name == dim) restUsesDim = true;
+    if (restUsesDim) return {};
+    if (coeff == 1) {
+      // dim + rest >= 0  =>  dim >= -rest
+      AffineExpr candidate = -rest;
+      if (lower) return {};  // multiple lower bounds: not "simple"
+      lower = candidate;
+    } else if (coeff == -1) {
+      // -dim + rest >= 0  =>  dim <= rest
+      if (upper) return {};
+      upper = rest;
+    } else {
+      return {};
+    }
+  }
+  if (!lower || !upper) return {};
+  return DimBounds{*lower, *upper};
+}
+
+std::string IntegerSet::toString() const {
+  std::vector<std::string> parts;
+  parts.reserve(constraints_.size());
+  for (const Constraint& c : constraints_) parts.push_back(c.toString());
+  return strCat(tupleName_, "(", strJoin(dims_, ", "), ") : ",
+                strJoin(parts, " and "));
+}
+
+AffineMap AffineMap::identity(const std::vector<std::string>& dims) {
+  std::vector<AffineExpr> outputs;
+  outputs.reserve(dims.size());
+  for (const auto& d : dims) outputs.push_back(AffineExpr::dim(d));
+  return AffineMap(dims, std::move(outputs));
+}
+
+std::vector<std::int64_t> AffineMap::evaluate(
+    const std::map<std::string, std::int64_t>& env) const {
+  std::vector<std::int64_t> values;
+  values.reserve(outputs_.size());
+  for (const AffineExpr& e : outputs_) values.push_back(e.evaluate(env));
+  return values;
+}
+
+std::string AffineMap::toString() const {
+  std::vector<std::string> outs;
+  outs.reserve(outputs_.size());
+  for (const AffineExpr& e : outputs_) outs.push_back(e.toString());
+  return strCat("(", strJoin(inputs_, ", "), ") -> (", strJoin(outs, ", "),
+                ")");
+}
+
+std::string AccessRelation::toString() const {
+  std::vector<std::string> subs;
+  for (const AffineExpr& e : map.outputs()) subs.push_back(e.toString());
+  return strCat(isWrite ? "write " : "read ", arrayName, "[",
+                strJoin(subs, "]["), "]");
+}
+
+}  // namespace sw::poly

@@ -1,0 +1,117 @@
+// Integer sets and affine maps, the restricted isl slice used by the GEMM
+// pipeline.
+//
+// An IntegerSet is a named tuple of dimensions constrained by a conjunction
+// of affine inequalities/equalities (possibly referencing parameters such as
+// M, N, K that are not tuple dimensions).  An AffineMap is a multi-
+// dimensional affine function from a tuple of dimensions to a vector of
+// affine expressions; it models statement schedules and array accesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/affine.h"
+
+namespace sw::poly {
+
+/// One affine constraint: expr >= 0 (kGe) or expr == 0 (kEq).
+struct Constraint {
+  enum class Kind { kGe, kEq };
+  AffineExpr expr;
+  Kind kind = Kind::kGe;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Closed-form description of a dimension's range: lower <= d <= upper.
+struct DimBounds {
+  AffineExpr lower;
+  AffineExpr upper;  // inclusive
+};
+
+/// A conjunction of affine constraints over named tuple dimensions.
+class IntegerSet {
+ public:
+  IntegerSet() = default;
+  IntegerSet(std::string tupleName, std::vector<std::string> dims)
+      : tupleName_(std::move(tupleName)), dims_(std::move(dims)) {}
+
+  [[nodiscard]] const std::string& tupleName() const { return tupleName_; }
+  [[nodiscard]] const std::vector<std::string>& dims() const { return dims_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Add `expr >= 0`.
+  void addGe(const AffineExpr& expr) {
+    constraints_.push_back({expr, Constraint::Kind::kGe});
+  }
+  /// Add `expr == 0`.
+  void addEq(const AffineExpr& expr) {
+    constraints_.push_back({expr, Constraint::Kind::kEq});
+  }
+  /// Add the classic loop range `0 <= dim < extent`.
+  void addRange(const std::string& dim, const AffineExpr& extent);
+
+  /// True if `point` (an assignment to dims and any parameters referenced by
+  /// the constraints) satisfies every constraint.
+  [[nodiscard]] bool contains(
+      const std::map<std::string, std::int64_t>& point) const;
+
+  /// Retrieve the range of `dim` if the constraints include the simple
+  /// `0 <= dim < extent` pattern the frontend produces.  Returns nullopt for
+  /// dims constrained in other ways.
+  [[nodiscard]] std::optional<DimBounds> simpleBounds(
+      const std::string& dim) const;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::string tupleName_;
+  std::vector<std::string> dims_;
+  std::vector<Constraint> constraints_;
+};
+
+/// An affine function from named input dimensions to affine expressions.
+class AffineMap {
+ public:
+  AffineMap() = default;
+  AffineMap(std::vector<std::string> inputDims, std::vector<AffineExpr> outputs)
+      : inputs_(std::move(inputDims)), outputs_(std::move(outputs)) {}
+
+  [[nodiscard]] const std::vector<std::string>& inputDims() const {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<AffineExpr>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] std::size_t numOutputs() const { return outputs_.size(); }
+
+  /// Identity map over the given dims.
+  static AffineMap identity(const std::vector<std::string>& dims);
+
+  /// Apply the map to a point.
+  [[nodiscard]] std::vector<std::int64_t> evaluate(
+      const std::map<std::string, std::int64_t>& env) const;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::vector<std::string> inputs_;
+  std::vector<AffineExpr> outputs_;
+};
+
+/// A read or write access: statement instance -> array element.
+struct AccessRelation {
+  std::string arrayName;
+  AffineMap map;  // statement dims -> array subscripts
+  bool isWrite = false;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+}  // namespace sw::poly

@@ -1,0 +1,62 @@
+#include "runtime/executor.h"
+
+#include "sunway/estimator.h"
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::rt {
+
+std::map<std::string, std::int64_t> bindParams(
+    const codegen::KernelProgram& program, std::int64_t m, std::int64_t n,
+    std::int64_t k, std::int64_t batch) {
+  std::map<std::string, std::int64_t> params;
+  for (const std::string& name : program.params) {
+    if (name == "M")
+      params[name] = m;
+    else if (name == "N")
+      params[name] = n;
+    else if (name == "K")
+      params[name] = k;
+    else if (name == "BATCH")
+      params[name] = batch;
+    else
+      throwInternal(strCat("unknown program parameter '", name, "'"));
+  }
+  return params;
+}
+
+double gemmFlops(std::int64_t m, std::int64_t n, std::int64_t k,
+                 std::int64_t batch) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k) * static_cast<double>(batch);
+}
+
+RunOutcome runOnMesh(sunway::MeshSimulator& mesh,
+                     const codegen::KernelProgram& program,
+                     const std::map<std::string, std::int64_t>& params,
+                     const ExecScalars& scalars, double reportedFlops) {
+  sunway::MeshRunResult meshResult =
+      mesh.run([&](sunway::CpeServices& services) {
+        runCpeProgram(program, params, scalars, services);
+      });
+  RunOutcome outcome;
+  outcome.seconds = meshResult.seconds;
+  outcome.gflops = reportedFlops / meshResult.seconds / 1e9;
+  outcome.counters = meshResult.totals;
+  return outcome;
+}
+
+RunOutcome estimateTiming(const sunway::ArchConfig& config,
+                          const codegen::KernelProgram& program,
+                          const std::map<std::string, std::int64_t>& params,
+                          double reportedFlops) {
+  sunway::SymmetricCpeServices services(config);
+  runCpeProgram(program, params, ExecScalars{}, services);
+  RunOutcome outcome;
+  outcome.seconds = services.totalSeconds();
+  outcome.gflops = reportedFlops / outcome.seconds / 1e9;
+  outcome.counters = services.counters();
+  return outcome;
+}
+
+}  // namespace sw::rt

@@ -1,0 +1,47 @@
+// High-level execution entry points: run a generated kernel on the
+// threaded mesh simulator (functional + timing), or estimate its timing
+// with the sequential symmetric model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "codegen/program.h"
+#include "runtime/interpreter.h"
+#include "sunway/arch.h"
+#include "sunway/mesh.h"
+
+namespace sw::rt {
+
+struct RunOutcome {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  sunway::CpeCounters counters;
+};
+
+/// Bind program parameter names to concrete (padded) sizes.
+std::map<std::string, std::int64_t> bindParams(
+    const codegen::KernelProgram& program, std::int64_t m, std::int64_t n,
+    std::int64_t k, std::int64_t batch = 1);
+
+/// GEMM flop count used for GFLOPS reporting (the convention of §8:
+/// 2*M*N*K multiply-adds per batch element).
+double gemmFlops(std::int64_t m, std::int64_t n, std::int64_t k,
+                 std::int64_t batch = 1);
+
+/// Execute on the (threaded) mesh simulator.  `mesh.memory()` must already
+/// hold the arrays the program accesses when the mesh is functional.
+RunOutcome runOnMesh(sunway::MeshSimulator& mesh,
+                     const codegen::KernelProgram& program,
+                     const std::map<std::string, std::int64_t>& params,
+                     const ExecScalars& scalars, double reportedFlops);
+
+/// Estimate timing with the sequential symmetric single-CPE model; scales
+/// to paper-sized shapes.
+RunOutcome estimateTiming(const sunway::ArchConfig& config,
+                          const codegen::KernelProgram& program,
+                          const std::map<std::string, std::int64_t>& params,
+                          double reportedFlops);
+
+}  // namespace sw::rt

@@ -1,0 +1,187 @@
+#include "runtime/interpreter.h"
+
+#include "kernel/microkernel.h"
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::rt {
+
+namespace {
+
+using codegen::AssignOp;
+using codegen::ComputeOp;
+using codegen::DmaOp;
+using codegen::ElementwiseOp;
+using codegen::KernelProgram;
+using codegen::LoopOp;
+using codegen::Op;
+using codegen::OpList;
+using codegen::RmaOp;
+using codegen::SyncOp;
+using codegen::WaitOp;
+using sched::ComputeMarkInfo;
+using sched::CopyKind;
+using sched::CopyStmt;
+using sched::ElementwiseMarkInfo;
+using sched::SpmBufferRef;
+
+class Interpreter {
+ public:
+  Interpreter(const KernelProgram& program,
+              const std::map<std::string, std::int64_t>& params,
+              const ExecScalars& scalars, sunway::CpeServices& services)
+      : program_(program), scalars_(scalars), services_(services) {
+    env_ = params;
+    env_["Rid"] = services.rid();
+    env_["Cid"] = services.cid();
+  }
+
+  void run() { execute(program_.body); }
+
+ private:
+  void execute(const OpList& ops) {
+    for (const Op& op : ops) std::visit([this](const auto& o) { exec(o); },
+                                        op.v);
+  }
+
+  void exec(const LoopOp& loop) {
+    const std::int64_t begin = loop.begin.evaluate(env_);
+    const std::int64_t end = loop.end.evaluate(env_);
+    for (std::int64_t v = begin; v < end; ++v) {
+      env_[loop.var] = v;
+      execute(loop.body);
+    }
+    env_.erase(loop.var);
+  }
+
+  void exec(const AssignOp& assign) {
+    env_[assign.var] = assign.value.evaluate(env_);
+    execute(assign.body);
+    env_.erase(assign.var);
+  }
+
+  /// Resolve a buffer reference to an SPM byte offset, honouring the
+  /// double-buffering phase selector of §6.3.
+  std::int64_t resolveBuffer(const SpmBufferRef& ref) const {
+    const codegen::SpmBufferDecl& decl = program_.buffer(ref.set);
+    std::int64_t phase = ref.phaseOffset;
+    if (ref.phaseVar) {
+      auto it = env_.find(*ref.phaseVar);
+      SW_CHECK(it != env_.end(),
+               strCat("phase variable '", *ref.phaseVar, "' unbound"));
+      phase += it->second;
+    }
+    phase = ((phase % decl.phases) + decl.phases) % decl.phases;
+    return decl.spmOffsetBytes + phase * decl.bytesPerPhase();
+  }
+
+  void exec(const DmaOp& op) {
+    const CopyStmt& stmt = op.stmt;
+    sunway::DmaRequest request;
+    request.isPut = stmt.kind == CopyKind::kDmaPut;
+    request.array = stmt.array;
+    request.batchIndex =
+        stmt.batchIndex ? stmt.batchIndex->evaluate(env_) : 0;
+    request.rowStart = stmt.rowStart.evaluate(env_);
+    request.colStart = stmt.colStart.evaluate(env_);
+    request.tileRows = stmt.tileRows;
+    request.tileCols = stmt.tileCols;
+    request.spmOffsetBytes = resolveBuffer(stmt.buffer);
+    request.slot = stmt.replySlot;
+    services_.dmaIssue(request);
+  }
+
+  void exec(const RmaOp& op) {
+    const CopyStmt& stmt = op.stmt;
+    SW_CHECK(stmt.senderGuard.has_value(), "RMA statement without a guard");
+    bool isSender = services_.guardAlwaysTrue();
+    if (!isSender) {
+      auto it = env_.find(stmt.senderGuard->meshVar);
+      SW_CHECK(it != env_.end(), strCat("mesh variable '",
+                                        stmt.senderGuard->meshVar,
+                                        "' unbound"));
+      isSender = it->second == stmt.senderGuard->equals.evaluate(env_);
+    }
+    if (!isSender) return;  // receivers only wait on replyr
+    sunway::RmaRequest request;
+    request.kind = stmt.kind == CopyKind::kRmaRowBcast
+                       ? sunway::RmaKind::kRowBroadcast
+                       : sunway::RmaKind::kColBroadcast;
+    request.isSender = true;
+    request.bytes =
+        stmt.sizeElements() * static_cast<std::int64_t>(sizeof(double));
+    request.srcSpmOffsetBytes = resolveBuffer(stmt.rmaSource);
+    request.dstSpmOffsetBytes = resolveBuffer(stmt.buffer);
+    request.slot = stmt.replySlot;
+    services_.rmaIssue(request);
+  }
+
+  void exec(const WaitOp& op) {
+    services_.waitSlot(op.slot, op.isRma, op.isRowBroadcast);
+  }
+
+  void exec(const SyncOp&) { services_.sync(); }
+
+  void exec(const ComputeOp& op) {
+    const ComputeMarkInfo& info = op.info;
+    const double flops = 2.0 * static_cast<double>(info.m) *
+                         static_cast<double>(info.n) *
+                         static_cast<double>(info.k);
+    services_.computeTime(flops, info.kind == ComputeMarkInfo::Kind::kAsm
+                                     ? sunway::ComputeRate::kAsmKernel
+                                     : sunway::ComputeRate::kNaive);
+    if (!services_.functional()) return;
+    double* c = services_.spmPtr(resolveBuffer(info.c));
+    double* a = services_.spmPtr(resolveBuffer(info.a));
+    double* b = services_.spmPtr(resolveBuffer(info.b));
+    if (info.kind == ComputeMarkInfo::Kind::kAsm)
+      kernel::dgemmMicroKernel(c, a, b, info.m, info.n, info.k);
+    else
+      kernel::dgemmNaiveKernel(c, a, b, info.m, info.n, info.k);
+  }
+
+  void exec(const ElementwiseOp& op) {
+    const ElementwiseMarkInfo& info = op.info;
+    const std::int64_t count = info.rows * info.cols;
+    services_.computeTime(static_cast<double>(count),
+                          sunway::ComputeRate::kElementwise);
+    if (!services_.functional()) return;
+    double* tile = services_.spmPtr(resolveBuffer(info.target));
+    switch (info.op) {
+      case ElementwiseMarkInfo::Op::kBetaScaleC:
+        kernel::tileScale(tile, count, scalars_.beta);
+        break;
+      case ElementwiseMarkInfo::Op::kAlphaScaleA:
+        kernel::tileScale(tile, count, scalars_.alpha);
+        break;
+      case ElementwiseMarkInfo::Op::kQuantize:
+        kernel::tileQuantize(tile, count);
+        break;
+      case ElementwiseMarkInfo::Op::kRelu:
+        kernel::tileRelu(tile, count);
+        break;
+      case ElementwiseMarkInfo::Op::kTranspose: {
+        SW_CHECK(info.source.has_value(), "transpose mark without source");
+        const double* src = services_.spmPtr(resolveBuffer(*info.source));
+        kernel::tileTranspose(tile, src, info.rows, info.cols);
+        break;
+      }
+    }
+  }
+
+  const KernelProgram& program_;
+  const ExecScalars scalars_;
+  sunway::CpeServices& services_;
+  std::map<std::string, std::int64_t> env_;
+};
+
+}  // namespace
+
+void runCpeProgram(const KernelProgram& program,
+                   const std::map<std::string, std::int64_t>& params,
+                   const ExecScalars& scalars,
+                   sunway::CpeServices& services) {
+  Interpreter(program, params, scalars, services).run();
+}
+
+}  // namespace sw::rt

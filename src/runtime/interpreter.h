@@ -1,0 +1,30 @@
+// Per-CPE interpreter for KernelPrograms.
+//
+// Executes the op list produced by the program builder against a
+// CpeServices backend.  In functional mode the interpreter also performs
+// the math (micro-kernel / naive kernel / element-wise tile ops) on real
+// SPM data; in timing mode only the services' logical clock advances.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "codegen/program.h"
+#include "sunway/services.h"
+
+namespace sw::rt {
+
+/// Runtime scalars of the DGEMM contract C = alpha*A*B + beta*C.
+struct ExecScalars {
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+/// Execute `program` for the CPE behind `services`.  `params` binds the
+/// structure parameters (M, N, K[, B]) to padded concrete sizes.
+void runCpeProgram(const codegen::KernelProgram& program,
+                   const std::map<std::string, std::int64_t>& params,
+                   const ExecScalars& scalars, sunway::CpeServices& services);
+
+}  // namespace sw::rt

@@ -1,0 +1,60 @@
+// Symbolic loop extents.
+//
+// After tiling, every loop the code generator emits has an extent of the
+// form  constant + param/divisor  (e.g. 8, 64, M/512, K/256).  The compiler
+// enforces the paper's shape preconditions (M, N multiples of 512, K a
+// multiple of 256 — §8.1 "one can manually construct such shapes through
+// zero padding"), so the division is always exact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace sw::sched {
+
+class Extent {
+ public:
+  Extent() = default;
+
+  static Extent constant(std::int64_t value) {
+    Extent e;
+    e.constant_ = value;
+    return e;
+  }
+  /// param / divisor (exact division enforced at evaluation).
+  static Extent paramDiv(std::string param, std::int64_t divisor) {
+    Extent e;
+    e.param_ = std::move(param);
+    e.divisor_ = divisor;
+    return e;
+  }
+
+  [[nodiscard]] bool isConstant() const { return !param_.has_value(); }
+  [[nodiscard]] std::int64_t constantPart() const { return constant_; }
+  [[nodiscard]] const std::optional<std::string>& param() const {
+    return param_;
+  }
+  [[nodiscard]] std::int64_t divisor() const { return divisor_; }
+
+  [[nodiscard]] Extent plus(std::int64_t delta) const {
+    Extent e = *this;
+    e.constant_ += delta;
+    return e;
+  }
+
+  [[nodiscard]] std::int64_t evaluate(
+      const std::map<std::string, std::int64_t>& params) const;
+
+  [[nodiscard]] std::string toString() const;
+
+  bool operator==(const Extent&) const = default;
+
+ private:
+  std::int64_t constant_ = 0;
+  std::optional<std::string> param_;
+  std::int64_t divisor_ = 1;
+};
+
+}  // namespace sw::sched

@@ -1,0 +1,229 @@
+#include "schedule/transforms.h"
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::sched {
+
+namespace {
+
+/// extent / divisor, exact.
+Extent divideExtent(const Extent& extent, std::int64_t divisor) {
+  SW_CHECK(divisor > 0, "extent divisor must be positive");
+  if (extent.isConstant()) {
+    SW_CHECK(extent.constantPart() % divisor == 0,
+             strCat("extent ", extent.toString(), " not divisible by ",
+                    divisor));
+    return Extent::constant(extent.constantPart() / divisor);
+  }
+  SW_CHECK(extent.constantPart() == 0,
+           "cannot divide an offset symbolic extent");
+  return Extent::paramDiv(*extent.param(), extent.divisor() * divisor);
+}
+
+/// Detach the only child of `node`, leaving it childless.
+NodePtr detachOnlyChild(ScheduleNode& node) {
+  SW_CHECK(node.children().size() == 1, "expected exactly one child");
+  NodePtr child = std::move(node.children()[0]);
+  node.children().clear();
+  return child;
+}
+
+BandNode& findBandByVarIn(ScheduleNode& node, const std::string& var,
+                          BandNode*& found) {
+  if (node.kind() == NodeKind::kBand) {
+    auto& band = nodeCast<BandNode>(node);
+    if (!band.members.empty() && band.members.front().var == var) {
+      SW_CHECK(found == nullptr, strCat("variable '", var,
+                                        "' heads more than one band"));
+      found = &band;
+    }
+  }
+  for (NodePtr& child : node.children()) findBandByVarIn(*child, var, found);
+  return *found;
+}
+
+}  // namespace
+
+ScheduleTree buildInitialTree(std::vector<poly::IntegerSet> domains,
+                              const std::vector<bool>& coincident,
+                              bool permutable) {
+  SW_CHECK(!domains.empty(), "no statements");
+  auto domain = std::make_unique<DomainNode>();
+  auto band = std::make_unique<BandNode>();
+  band->permutable = permutable;
+
+  // The initial band covers the dims of the first (deepest) statement; the
+  // GEMM pipeline builds one band over the GEMM statement's full nest.
+  const poly::IntegerSet& primary = domains.front();
+  SW_CHECK(coincident.size() == primary.dims().size(),
+           "coincident flags arity mismatch");
+  for (std::size_t d = 0; d < primary.dims().size(); ++d) {
+    const std::string& dim = primary.dims()[d];
+    BandMember member;
+    member.var = dim;  // initial schedule is the identity
+    member.exprs.emplace_back(primary.tupleName(), poly::AffineExpr::dim(dim));
+    member.coincident = coincident[d];
+    auto bounds = primary.simpleBounds(dim);
+    SW_CHECK(bounds.has_value(),
+             strCat("dimension '", dim, "' lacks simple 0..extent bounds"));
+    // upper is inclusive: extent = upper + 1.  The frontend always produces
+    // `dim <= Param - 1`, so upper+1 is either a constant or a bare param.
+    poly::AffineExpr extentExpr =
+        bounds->upper + poly::AffineExpr::constant(1);
+    if (extentExpr.isConstant()) {
+      member.extent = Extent::constant(extentExpr.constantTerm());
+    } else {
+      auto single = extentExpr.asSingleDim();
+      SW_CHECK(single.has_value(),
+               strCat("unsupported extent expression: ",
+                      extentExpr.toString()));
+      member.extent = Extent::paramDiv(*single, 1);
+    }
+    band->members.push_back(std::move(member));
+  }
+
+  band->appendChild(std::make_unique<LeafNode>());
+  domain->domains = std::move(domains);
+  domain->appendChild(std::move(band));
+  return ScheduleTree(std::move(domain));
+}
+
+BandNode& tileBand(ScheduleTree& tree, BandNode& band,
+                   const std::vector<std::int64_t>& sizes,
+                   const std::vector<std::string>& outerVars,
+                   const std::vector<std::string>& innerVars) {
+  (void)tree;
+  SW_CHECK(sizes.size() == band.members.size(), "tile size arity mismatch");
+  SW_CHECK(outerVars.size() == sizes.size() && innerVars.size() == sizes.size(),
+           "tile variable-name arity mismatch");
+  SW_CHECK(band.permutable, "tiling requires a permutable band");
+
+  auto inner = std::make_unique<BandNode>();
+  inner->permutable = true;
+  for (std::size_t d = 0; d < band.members.size(); ++d) {
+    BandMember& outerMember = band.members[d];
+    BandMember innerMember;
+    innerMember.var = innerVars[d];
+    innerMember.coincident = outerMember.coincident;
+    innerMember.extent = Extent::constant(sizes[d]);
+    for (auto& [stmt, expr] : outerMember.exprs)
+      innerMember.exprs.emplace_back(
+          stmt, expr - poly::AffineExpr::floorDiv(expr, sizes[d]) * sizes[d]);
+    inner->members.push_back(std::move(innerMember));
+
+    for (auto& [stmt, expr] : outerMember.exprs)
+      expr = poly::AffineExpr::floorDiv(expr, sizes[d]);
+    outerMember.var = outerVars[d];
+    outerMember.extent = divideExtent(outerMember.extent, sizes[d]);
+  }
+
+  NodePtr child = detachOnlyChild(band);
+  inner->appendChild(std::move(child));
+  band.appendChild(std::move(inner));
+  return band;
+}
+
+BandNode& stripMineMember(ScheduleTree& tree, BandNode& band,
+                          std::size_t index, std::int64_t factor,
+                          const std::string& outerVar,
+                          const std::string& innerVar) {
+  (void)tree;
+  SW_CHECK(index < band.members.size(), "strip-mine index out of range");
+  BandMember& member = band.members[index];
+
+  BandMember outerMember;
+  outerMember.var = outerVar;
+  outerMember.coincident = member.coincident;
+  outerMember.extent = divideExtent(member.extent, factor);
+  for (auto& [stmt, expr] : member.exprs)
+    outerMember.exprs.emplace_back(stmt,
+                                   poly::AffineExpr::floorDiv(expr, factor));
+
+  // Residue stays in the original member.
+  for (auto& [stmt, expr] : member.exprs)
+    expr = expr - poly::AffineExpr::floorDiv(expr, factor) * factor;
+  member.var = innerVar;
+  member.extent = Extent::constant(factor);
+
+  // The outer member becomes its own band directly above `band`'s position:
+  // splice a new band that adopts everything `band` had.
+  auto outerBand = std::make_unique<BandNode>();
+  outerBand->permutable = band.permutable;
+  outerBand->members.push_back(std::move(outerMember));
+
+  // Swap contents: `band` node in the tree becomes the outer band, and the
+  // residue moves to a new inner band, preserving parent links.
+  auto innerBand = std::make_unique<BandNode>();
+  innerBand->permutable = band.permutable;
+  innerBand->members = std::move(band.members);
+  band.members = std::move(outerBand->members);
+
+  NodePtr child = detachOnlyChild(band);
+  innerBand->appendChild(std::move(child));
+  band.appendChild(std::move(innerBand));
+  return band;
+}
+
+BandNode& splitBand(ScheduleTree& tree, BandNode& band, std::size_t count) {
+  (void)tree;
+  SW_CHECK(count > 0 && count < band.members.size(),
+           "band split point out of range");
+  auto inner = std::make_unique<BandNode>();
+  inner->permutable = band.permutable;
+  inner->members.assign(std::make_move_iterator(band.members.begin() + count),
+                        std::make_move_iterator(band.members.end()));
+  band.members.resize(count);
+
+  NodePtr child = detachOnlyChild(band);
+  inner->appendChild(std::move(child));
+  BandNode& result = *inner;
+  band.appendChild(std::move(inner));
+  return result;
+}
+
+void bindMember(BandNode& band, std::size_t index,
+                const std::string& binding) {
+  SW_CHECK(index < band.members.size(), "bind index out of range");
+  band.members[index].binding = binding;
+}
+
+BandNode& findBandByVar(ScheduleTree& tree, const std::string& var) {
+  BandNode* found = nullptr;
+  findBandByVarIn(tree.root(), var, found);
+  SW_CHECK(found != nullptr, strCat("no band headed by variable '", var, "'"));
+  return *found;
+}
+
+ScheduleNode& wrapOnlyChild(ScheduleNode& parent, NodePtr wrapper) {
+  NodePtr child = detachOnlyChild(parent);
+  wrapper->appendChild(std::move(child));
+  ScheduleNode& result = *wrapper;
+  parent.appendChild(std::move(wrapper));
+  return result;
+}
+
+NodePtr makeFilter(std::vector<FilterElement> elements,
+                   std::optional<RangeRestriction> range, NodePtr child) {
+  auto filter = std::make_unique<FilterNode>();
+  filter->elements = std::move(elements);
+  filter->range = std::move(range);
+  if (child != nullptr) filter->appendChild(std::move(child));
+  return filter;
+}
+
+FilterElement statementElement(std::string name) {
+  return FilterElement{FilterElement::Kind::kStatement, std::move(name), 1};
+}
+FilterElement copyElement(std::string name) {
+  return FilterElement{FilterElement::Kind::kCopy, std::move(name), 1};
+}
+FilterElement waitElement(std::string replySlot, std::int64_t count) {
+  return FilterElement{FilterElement::Kind::kReplyWait, std::move(replySlot),
+                       count};
+}
+FilterElement syncElement() {
+  return FilterElement{FilterElement::Kind::kSync, "sync", 1};
+}
+
+}  // namespace sw::sched

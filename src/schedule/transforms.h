@@ -1,0 +1,74 @@
+// Generic schedule-tree transformations (§3 of the paper): loop tiling,
+// strip-mining, band splitting, hardware binding, and structural helpers
+// used by the DMA/RMA insertion and latency-hiding passes.
+//
+// All transformations operate in place on a BandNode reached inside a
+// ScheduleTree and preserve tree invariants (validate() still passes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schedule/tree.h"
+
+namespace sw::sched {
+
+/// Build the initial tree of Fig.2b: Domain -> Band(identity) -> Leaf.
+/// `coincident[i]` marks parallel dimensions (isl's attribute from the
+/// dependence analysis); `permutable` is the tilability attribute.
+ScheduleTree buildInitialTree(std::vector<poly::IntegerSet> domains,
+                              const std::vector<bool>& coincident,
+                              bool permutable);
+
+/// Tile every member of `band` rectangularly with `sizes` (Fig.4a).  The
+/// band is replaced by two bands: the outer iterates between tiles
+/// (expr -> floor(expr/size), variable names `outerVars`), the inner within
+/// a tile (expr -> expr - size*floor(expr/size), names `innerVars`).
+/// Extents of the outer members divide the original extents by the sizes;
+/// inner extents are the sizes themselves.  Returns the outer band.
+BandNode& tileBand(ScheduleTree& tree, BandNode& band,
+                   const std::vector<std::int64_t>& sizes,
+                   const std::vector<std::string>& outerVars,
+                   const std::vector<std::string>& innerVars);
+
+/// Strip-mine member `index` of `band` by `factor` (Fig.6): the member is
+/// replaced by an outer member (var `outerVar`, expr floor(e/factor),
+/// extent extent/factor) in a new band above, and the residue
+/// (var `innerVar`, expr e - factor*floor(e/factor), extent factor) stays.
+/// Requires the member extent to be divisible by `factor` (guaranteed by
+/// the driver's padding).  Returns the new outer band.
+BandNode& stripMineMember(ScheduleTree& tree, BandNode& band,
+                          std::size_t index, std::int64_t factor,
+                          const std::string& outerVar,
+                          const std::string& innerVar);
+
+/// Split `band` after `count` members: the first `count` members stay, the
+/// rest move to a fresh band inserted as the only child (isolation step of
+/// Fig.3/Fig.6).  Returns the new inner band.
+BandNode& splitBand(ScheduleTree& tree, BandNode& band, std::size_t count);
+
+/// Bind member `index` of `band` to the mesh coordinate `binding`
+/// ("Rid"/"Cid", Fig.4b).  The member's extent must equal the mesh width.
+void bindMember(BandNode& band, std::size_t index, const std::string& binding);
+
+/// Find the unique band in the tree whose first member has variable `var`;
+/// throws if absent.
+BandNode& findBandByVar(ScheduleTree& tree, const std::string& var);
+
+/// Wrap the only child of `parent` in a new node `wrapper` (wrapper adopts
+/// the child; parent adopts wrapper).  Returns the wrapper.
+ScheduleNode& wrapOnlyChild(ScheduleNode& parent, NodePtr wrapper);
+
+/// Convenience: make a filter node with the given elements and optional
+/// range, adopting `child` (may be null for issue-only filters, which get a
+/// leaf).
+NodePtr makeFilter(std::vector<FilterElement> elements,
+                   std::optional<RangeRestriction> range, NodePtr child);
+
+FilterElement statementElement(std::string name);
+FilterElement copyElement(std::string name);
+FilterElement waitElement(std::string replySlot, std::int64_t count = 1);
+FilterElement syncElement();
+
+}  // namespace sw::sched

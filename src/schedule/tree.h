@@ -1,0 +1,213 @@
+// Schedule trees — the compiler's central IR, following the isl schedule
+// tree design the paper builds on (Grosser, Verdoolaege, Cohen, TOPLAS'15).
+//
+// Node kinds implemented (the slice the GEMM pipeline needs):
+//   Domain     — root; the statement instance sets of the input program.
+//   Band       — a multi-dimensional piece of schedule.  Each member holds
+//                the per-statement affine schedule expression, the inferred
+//                symbolic extent, the loop variable name the code generator
+//                will introduce, and an optional hardware binding (Rid/Cid),
+//                mirroring Fig.4b.
+//   Sequence   — ordered composition; children are Filters.
+//   Filter     — selects statements / copy statements / reply waits / syncs,
+//                optionally with a range restriction over a schedule
+//                variable (the peeling filters of Fig.11, e.g. floor(k/256)=0).
+//   Extension  — introduces data-movement statements (Fig.9); holds the
+//                CopyStmt descriptors referenced by name in Filters below.
+//   Mark       — code-generation directive (the inline-assembly micro-kernel
+//                invocation of §7.2, element-wise tile operations of §7.3).
+//   Leaf       — executes whatever statements the enclosing filters select.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/set.h"
+#include "schedule/copy_stmt.h"
+#include "schedule/extent.h"
+
+namespace sw::sched {
+
+enum class NodeKind {
+  kDomain,
+  kBand,
+  kSequence,
+  kFilter,
+  kExtension,
+  kMark,
+  kLeaf,
+};
+
+class ScheduleNode;
+using NodePtr = std::unique_ptr<ScheduleNode>;
+
+class ScheduleNode {
+ public:
+  explicit ScheduleNode(NodeKind kind) : kind_(kind) {}
+  virtual ~ScheduleNode() = default;
+
+  ScheduleNode(const ScheduleNode&) = delete;
+  ScheduleNode& operator=(const ScheduleNode&) = delete;
+
+  [[nodiscard]] NodeKind kind() const { return kind_; }
+
+  [[nodiscard]] std::vector<NodePtr>& children() { return children_; }
+  [[nodiscard]] const std::vector<NodePtr>& children() const {
+    return children_;
+  }
+
+  /// Single-child accessor for non-sequence nodes.
+  [[nodiscard]] ScheduleNode& onlyChild();
+  [[nodiscard]] const ScheduleNode& onlyChild() const;
+
+  void appendChild(NodePtr child) { children_.push_back(std::move(child)); }
+
+  [[nodiscard]] virtual NodePtr clone() const = 0;
+
+ protected:
+  void cloneChildrenInto(ScheduleNode& target) const;
+
+ private:
+  NodeKind kind_;
+  std::vector<NodePtr> children_;
+};
+
+class DomainNode final : public ScheduleNode {
+ public:
+  DomainNode() : ScheduleNode(NodeKind::kDomain) {}
+  std::vector<poly::IntegerSet> domains;
+
+  [[nodiscard]] NodePtr clone() const override;
+};
+
+/// One dimension of a band.
+struct BandMember {
+  /// Loop variable the code generator introduces for this member
+  /// (e.g. "mt", "nt", "ko", "ki", "b").  Unique within the tree.
+  std::string var;
+  /// Per-statement schedule expression over original iteration dims,
+  /// e.g. S1 -> floor(k/32) - 8*floor(k/256).  Kept for printing and
+  /// validation; keyed by statement name.
+  std::vector<std::pair<std::string, poly::AffineExpr>> exprs;
+  /// Symbolic trip count (loops run [0, extent)).
+  Extent extent;
+  /// If set, the member is bound to a mesh coordinate instead of a loop
+  /// ("Rid" or "Cid"), as in Fig.4b.
+  std::optional<std::string> binding;
+  /// isl's "coincident" attribute: iterations are parallel.
+  bool coincident = false;
+};
+
+class BandNode final : public ScheduleNode {
+ public:
+  BandNode() : ScheduleNode(NodeKind::kBand) {}
+  std::vector<BandMember> members;
+  bool permutable = false;
+
+  [[nodiscard]] NodePtr clone() const override;
+};
+
+class SequenceNode final : public ScheduleNode {
+ public:
+  SequenceNode() : ScheduleNode(NodeKind::kSequence) {}
+  [[nodiscard]] NodePtr clone() const override;
+};
+
+struct FilterElement {
+  enum class Kind {
+    kStatement,  // a user statement from the domain (e.g. "S1")
+    kCopy,       // a CopyStmt from an enclosing extension, by name
+    kReplyWait,  // wait on a reply slot
+    kSync,       // CPE-mesh synchronisation (required before RMA, §5)
+  };
+  Kind kind = Kind::kStatement;
+  std::string name;        // statement / copy name / reply slot
+  std::int64_t count = 1;  // wait count for kReplyWait
+};
+
+/// Range restriction used by loop peeling (§6.2): constrains variable `var`
+/// to [begin, end).  When begin + 1 == end the code generator binds the
+/// variable without emitting a loop (the isolated first/last iterations of
+/// Fig.11).  `end` may be offset from the owning band's extent.
+struct RangeRestriction {
+  std::string var;
+  Extent begin;
+  Extent end;
+};
+
+class FilterNode final : public ScheduleNode {
+ public:
+  FilterNode() : ScheduleNode(NodeKind::kFilter) {}
+  std::vector<FilterElement> elements;
+  std::optional<RangeRestriction> range;
+
+  [[nodiscard]] bool selectsStatement(const std::string& name) const;
+  [[nodiscard]] NodePtr clone() const override;
+};
+
+class ExtensionNode final : public ScheduleNode {
+ public:
+  ExtensionNode() : ScheduleNode(NodeKind::kExtension) {}
+  std::vector<CopyStmt> copies;
+
+  [[nodiscard]] const CopyStmt* findCopy(const std::string& name) const;
+  [[nodiscard]] NodePtr clone() const override;
+};
+
+class MarkNode final : public ScheduleNode {
+ public:
+  MarkNode() : ScheduleNode(NodeKind::kMark) {}
+  std::string label;
+  /// Exactly one of these is set for code-generating marks; plain marks
+  /// (e.g. the "skipped" bypass of Fig.12a) set neither.
+  std::optional<ComputeMarkInfo> compute;
+  std::optional<ElementwiseMarkInfo> elementwise;
+
+  [[nodiscard]] NodePtr clone() const override;
+};
+
+class LeafNode final : public ScheduleNode {
+ public:
+  LeafNode() : ScheduleNode(NodeKind::kLeaf) {}
+  [[nodiscard]] NodePtr clone() const override;
+};
+
+/// A whole schedule tree (owns the root, which must be a DomainNode).
+class ScheduleTree {
+ public:
+  explicit ScheduleTree(NodePtr root);
+
+  [[nodiscard]] DomainNode& root();
+  [[nodiscard]] const DomainNode& root() const;
+
+  [[nodiscard]] ScheduleTree clone() const;
+
+  /// Render in the paper's textual style (Fig.2/4/6/9/11); used by golden
+  /// tests and the --dump-schedule option.
+  [[nodiscard]] std::string toString() const;
+
+  /// Check structural invariants; throws InternalError with a diagnostic on
+  /// violation.  Called between pipeline passes.
+  void validate() const;
+
+ private:
+  NodePtr root_;
+};
+
+/// Downcast helpers (checked).
+template <typename T>
+T& nodeCast(ScheduleNode& node) {
+  T* p = dynamic_cast<T*>(&node);
+  if (p == nullptr) throw std::logic_error("schedule node kind mismatch");
+  return *p;
+}
+template <typename T>
+const T& nodeCast(const ScheduleNode& node) {
+  const T* p = dynamic_cast<const T*>(&node);
+  if (p == nullptr) throw std::logic_error("schedule node kind mismatch");
+  return *p;
+}
+
+}  // namespace sw::sched

@@ -1,0 +1,99 @@
+// SW26010Pro core-group architecture model (§2.1, Fig.1).
+//
+// One core group (cluster) = 1 MPE + an 8x8 CPE mesh.  Each CPE owns a
+// 256 KB software-managed SPM, a DMA engine to the cluster's DDR4 memory,
+// and an RMA engine for intra-mesh communication.  The paper withholds the
+// processor's exact peak; this model's defaults are calibrated so the
+// *relationships* the paper reports (the breakdown factors of §8.1, the
+// latency-hiding overlap counts of §6, the xMath crossovers of §8.2)
+// reproduce.  Every quantity is a plain named field so ablation benches can
+// sweep it.
+#pragma once
+
+#include <cstdint>
+
+namespace sw::sunway {
+
+struct ArchConfig {
+  // --- mesh geometry ---
+  int meshRows = 8;
+  int meshCols = 8;
+
+  // --- per-CPE resources ---
+  std::int64_t spmBytes = 256 * 1024;  // SW26010Pro SPM (§2.1)
+
+  // --- compute rates ---
+  double cpeFrequencyHz = 2.1e9;
+  /// Vector FMA throughput of one CPE (512-bit SIMD, dual pipe): DP flops
+  /// per cycle at peak.
+  double cpeFlopsPerCycle = 16.0;
+  /// Fraction of peak the vendor assembly micro-kernel sustains once data
+  /// is in SPM (register blocking + instruction scheduling, §7.2).
+  double asmKernelEfficiency = 0.99;
+  /// Scalar flops per cycle of the naive compiler-scheduled loop nest
+  /// (the --no-use-asm path; load/store bound).
+  double naiveFlopsPerCycle = 0.88;
+  /// Element-wise SPM operations (quantization, activation, scaling).
+  double elementwiseFlopsPerCycle = 8.0;
+
+  // --- DMA: DDR4 <-> SPM (§4) ---
+  /// Aggregate main-memory bandwidth of the core group.  Each CPE owns one
+  /// DMA engine running at a 1/64 share (messages from the same CPE
+  /// serialise on its engine, so total bandwidth is conserved when the
+  /// whole mesh streams).
+  double ddrBandwidthBytesPerSec = 36.0e9;
+  double dmaStartupSeconds = 1.5e-6;  // per-message latency
+  /// Extra per-row overhead of strided (non-contiguous) transfers.
+  double dmaStridePenaltySecondsPerRow = 10.0e-9;
+
+  // --- RMA: SPM <-> SPM across the mesh (§5) ---
+  /// Effective per-broadcast bandwidth.  The row and column networks are
+  /// independent, so an A row-broadcast and a B column-broadcast proceed
+  /// concurrently (§6.1: "the broadcasts of A and B can be launched
+  /// together").
+  double rmaBandwidthBytesPerSec = 80.0e9;
+  double rmaStartupSeconds = 0.1e-6;
+
+  // --- control ---
+  double syncSeconds = 0.05e-6;         // mesh barrier
+  double spawnOverheadSeconds = 25e-6;  // athread_spawn + join (per launch)
+
+  // --- MPE (used by library baselines that run element-wise ops there) ---
+  double mpeFlopsPerCycle = 4.0;
+  double mpeFrequencyHz = 2.1e9;
+  /// Effective bandwidth of an MPE scalar element-wise pass over main
+  /// memory (the unfused prologue/epilogue baseline of §8.4 runs there).
+  double mpeMemBandwidthBytesPerSec = 2.5e9;
+
+  [[nodiscard]] int meshSize() const { return meshRows * meshCols; }
+
+  /// Theoretical peak of the core group in flops/second.
+  [[nodiscard]] double peakFlops() const {
+    return meshSize() * cpeFrequencyHz * cpeFlopsPerCycle;
+  }
+
+  /// Per-CPE share of main-memory bandwidth when the whole mesh streams.
+  [[nodiscard]] double dmaShareBytesPerSec() const {
+    return ddrBandwidthBytesPerSec / meshSize();
+  }
+
+  /// Time for one DMA message of `bytes` spread over `rows` strided rows.
+  [[nodiscard]] double dmaSeconds(std::int64_t bytes, std::int64_t rows) const {
+    return dmaStartupSeconds + static_cast<double>(bytes) / dmaShareBytesPerSec() +
+           dmaStridePenaltySecondsPerRow * static_cast<double>(rows);
+  }
+
+  /// Time for one RMA broadcast of `bytes` along a row or column.
+  [[nodiscard]] double rmaSeconds(std::int64_t bytes) const {
+    return rmaStartupSeconds +
+           static_cast<double>(bytes) / rmaBandwidthBytesPerSec;
+  }
+
+  /// Time to execute `flops` on one CPE at `flopsPerCycle * efficiency`.
+  [[nodiscard]] double cpeComputeSeconds(double flops, double flopsPerCycle,
+                                         double efficiency = 1.0) const {
+    return flops / (cpeFrequencyHz * flopsPerCycle * efficiency);
+  }
+};
+
+}  // namespace sw::sunway

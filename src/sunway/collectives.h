@@ -1,0 +1,65 @@
+// Mesh collectives built on the RMA primitives.
+//
+// §5/Fig.8c: the all-broadcast manner "broadcasts the SPM data of s to
+// every other CPE in the mesh, which is internally implemented using the
+// combination of row and column broadcasts."  This header provides exactly
+// that composition: the source CPE row-broadcasts, then every CPE in the
+// source's row column-broadcasts the received tile.  All CPEs of the mesh
+// must call the collective (it synchronises internally, matching the
+// athread requirement that a synch() precedes RMA).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sunway/services.h"
+
+namespace sw::sunway {
+
+struct AllBroadcastArgs {
+  int srcRid = 0;
+  int srcCid = 0;
+  /// SPM offset of the payload on the source CPE.
+  std::int64_t srcSpmOffsetBytes = 0;
+  /// SPM offset of the receive region on every CPE (also used as the
+  /// column-stage staging area on the source's row).
+  std::int64_t dstSpmOffsetBytes = 0;
+  std::int64_t bytes = 0;
+  /// Distinguishes concurrent collectives; reply slots are derived from it.
+  std::string tag = "allbcast";
+};
+
+/// Collective all-broadcast; call from every CPE of the mesh.
+inline void rmaAllBroadcast(CpeServices& cpe, const AllBroadcastArgs& args) {
+  const std::string rowSlot = args.tag + "_row";
+  const std::string colSlot = args.tag + "_col";
+  cpe.sync();
+
+  // Stage 1: the source shares along its own mesh row.
+  if (cpe.rid() == args.srcRid && cpe.cid() == args.srcCid) {
+    RmaRequest row;
+    row.kind = RmaKind::kRowBroadcast;
+    row.isSender = true;
+    row.bytes = args.bytes;
+    row.srcSpmOffsetBytes = args.srcSpmOffsetBytes;
+    row.dstSpmOffsetBytes = args.dstSpmOffsetBytes;
+    row.slot = rowSlot;
+    cpe.rmaIssue(row);
+  }
+
+  // Stage 2: every CPE of the source's row relays down its column.
+  if (cpe.rid() == args.srcRid) {
+    cpe.waitSlot(rowSlot, /*isRma=*/true, /*isRowBroadcast=*/true);
+    RmaRequest col;
+    col.kind = RmaKind::kColBroadcast;
+    col.isSender = true;
+    col.bytes = args.bytes;
+    col.srcSpmOffsetBytes = args.dstSpmOffsetBytes;
+    col.dstSpmOffsetBytes = args.dstSpmOffsetBytes;
+    col.slot = colSlot;
+    cpe.rmaIssue(col);
+  }
+  cpe.waitSlot(colSlot, /*isRma=*/true, /*isRowBroadcast=*/false);
+}
+
+}  // namespace sw::sunway

@@ -1,0 +1,123 @@
+// Sequential single-CPE timing estimator.
+//
+// The generated GEMM code is symmetric across the mesh: every CPE executes
+// the same op stream (modulo which broadcast round it sends), and a mesh
+// barrier precedes every RMA round, so all logical clocks coincide at each
+// synchronisation point.  Simulating one CPE with sender guards forced
+// true therefore reproduces the threaded runtime's critical path while
+// scaling to paper-sized shapes (15360^3) in microseconds of host time.
+//
+// The approximation is validated against MeshSimulator in
+// tests/runtime_timing_test.cc; the only divergence is the per-round issue
+// overhead (the estimator charges it every round, a real CPE only on the
+// round it sends), bounded well under 1%.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "sunway/arch.h"
+#include "sunway/services.h"
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::sunway {
+
+class SymmetricCpeServices final : public CpeServices {
+ public:
+  explicit SymmetricCpeServices(const ArchConfig& config) : config_(config) {}
+
+  [[nodiscard]] int rid() const override { return 0; }
+  [[nodiscard]] int cid() const override { return 0; }
+  [[nodiscard]] bool functional() const override { return false; }
+  [[nodiscard]] bool guardAlwaysTrue() const override { return true; }
+
+  void sync() override {
+    ++counters_.syncs;
+    clock_ += config_.syncSeconds;
+  }
+
+  void dmaIssue(const DmaRequest& request) override {
+    const std::int64_t bytes = request.tileRows * request.tileCols *
+                               static_cast<std::int64_t>(sizeof(double));
+    ++counters_.dmaMessages;
+    counters_.dmaBytes += bytes;
+    const double start = std::max(clock_, dmaEngineBusyUntil_);
+    const double done =
+        start + config_.dmaSeconds(bytes, request.tileRows);
+    counters_.dmaBusySeconds += done - start;
+    dmaEngineBusyUntil_ = done;
+    slotCompletion_[request.slot] = done;
+    clock_ += kIssueOverheadSeconds;
+  }
+
+  void rmaIssue(const RmaRequest& request) override {
+    ++counters_.rmaBroadcastsSent;
+    counters_.rmaBytesSent += request.bytes;
+    double transfer = config_.rmaSeconds(request.bytes);
+    if (request.kind == RmaKind::kPointToPoint) transfer *= 2.0;  // worst hop
+    slotCompletion_[request.slot] = clock_ + transfer;
+    clock_ += kIssueOverheadSeconds;
+  }
+
+  void rmaWaitPoint(const std::string& slot) override {
+    waitSlot(slot, /*isRma=*/true, /*isRowBroadcast=*/false);
+  }
+
+  void waitSlot(const std::string& slot, bool isRma,
+                bool isRowBroadcast) override {
+    (void)isRma;
+    (void)isRowBroadcast;
+    auto it = slotCompletion_.find(slot);
+    if (it == slotCompletion_.end())
+      throw ProtocolError(
+          strCat("wait on slot '", slot, "' with no message in flight"));
+    if (it->second > clock_) {
+      counters_.waitStallSeconds += it->second - clock_;
+      clock_ = it->second;
+    }
+  }
+
+  void computeTime(double flops, ComputeRate rate) override {
+    double seconds = 0.0;
+    switch (rate) {
+      case ComputeRate::kAsmKernel:
+        seconds = config_.cpeComputeSeconds(flops, config_.cpeFlopsPerCycle,
+                                            config_.asmKernelEfficiency);
+        ++counters_.microKernelCalls;
+        break;
+      case ComputeRate::kNaive:
+        seconds = config_.cpeComputeSeconds(flops, config_.naiveFlopsPerCycle);
+        break;
+      case ComputeRate::kElementwise:
+        seconds =
+            config_.cpeComputeSeconds(flops, config_.elementwiseFlopsPerCycle);
+        break;
+    }
+    clock_ += seconds;
+    counters_.computeSeconds += seconds;
+  }
+
+  [[nodiscard]] double* spmPtr(std::int64_t) override { return nullptr; }
+  [[nodiscard]] double clockSeconds() const override { return clock_; }
+  [[nodiscard]] const CpeCounters& counters() const override {
+    return counters_;
+  }
+
+  /// Estimated wall-clock including the mesh spawn overhead.
+  [[nodiscard]] double totalSeconds() const {
+    return clock_ + config_.spawnOverheadSeconds;
+  }
+
+ private:
+  static constexpr double kIssueOverheadSeconds = 0.05e-6;
+
+  const ArchConfig& config_;
+  double clock_ = 0.0;
+  double dmaEngineBusyUntil_ = 0.0;
+  CpeCounters counters_;
+  std::map<std::string, double> slotCompletion_;
+};
+
+}  // namespace sw::sunway

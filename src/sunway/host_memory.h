@@ -1,0 +1,110 @@
+// Main-memory (DDR4) arrays of one SW26010Pro core group.
+//
+// In functional mode an array owns real storage; in timing mode only the
+// geometry is kept (paper-scale matrices would not fit in a test machine's
+// RAM, and the timing model never touches elements).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::sunway {
+
+class HostArray {
+ public:
+  HostArray() = default;
+
+  /// Functional array with real, zero-initialised storage.
+  static HostArray allocate(std::string name, std::int64_t batch,
+                            std::int64_t rows, std::int64_t cols) {
+    HostArray a;
+    a.name_ = std::move(name);
+    a.batch_ = batch;
+    a.rows_ = rows;
+    a.cols_ = cols;
+    a.data_.assign(static_cast<std::size_t>(batch * rows * cols), 0.0);
+    return a;
+  }
+
+  /// Timing-mode array: geometry only.
+  static HostArray virtualArray(std::string name, std::int64_t batch,
+                                std::int64_t rows, std::int64_t cols) {
+    HostArray a;
+    a.name_ = std::move(name);
+    a.batch_ = batch;
+    a.rows_ = rows;
+    a.cols_ = cols;
+    return a;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::int64_t batch() const { return batch_; }
+  [[nodiscard]] std::int64_t rows() const { return rows_; }
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+  [[nodiscard]] bool hasData() const { return !data_.empty(); }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  [[nodiscard]] double& at(std::int64_t b, std::int64_t r, std::int64_t c) {
+    checkIndex(b, r, c);
+    return data_[static_cast<std::size_t>((b * rows_ + r) * cols_ + c)];
+  }
+  [[nodiscard]] double at(std::int64_t b, std::int64_t r,
+                          std::int64_t c) const {
+    checkIndex(b, r, c);
+    return data_[static_cast<std::size_t>((b * rows_ + r) * cols_ + c)];
+  }
+
+  /// Row-major flat offset of element (b, r, c); bounds-checked.
+  [[nodiscard]] std::int64_t offsetOf(std::int64_t b, std::int64_t r,
+                                      std::int64_t c) const {
+    checkIndex(b, r, c);
+    return (b * rows_ + r) * cols_ + c;
+  }
+
+ private:
+  void checkIndex(std::int64_t b, std::int64_t r, std::int64_t c) const {
+    if (b < 0 || b >= batch_ || r < 0 || r >= rows_ || c < 0 || c >= cols_)
+      throw ProtocolError(strCat("out-of-bounds access ", name_, "[", b, "][",
+                                 r, "][", c, "] (shape ", batch_, "x", rows_,
+                                 "x", cols_, ")"));
+  }
+
+  std::string name_;
+  std::int64_t batch_ = 1;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+class HostMemory {
+ public:
+  void add(HostArray array) {
+    const std::string key = array.name();
+    auto [it, inserted] = arrays_.try_emplace(key, std::move(array));
+    (void)it;
+    SW_CHECK(inserted, strCat("array '", key, "' registered twice"));
+  }
+
+  [[nodiscard]] HostArray& get(const std::string& name) {
+    auto it = arrays_.find(name);
+    SW_CHECK(it != arrays_.end(), strCat("unknown array '", name, "'"));
+    return it->second;
+  }
+  [[nodiscard]] const HostArray& get(const std::string& name) const {
+    auto it = arrays_.find(name);
+    SW_CHECK(it != arrays_.end(), strCat("unknown array '", name, "'"));
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, HostArray> arrays_;
+};
+
+}  // namespace sw::sunway

@@ -1,0 +1,401 @@
+#include "sunway/mesh.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::sunway {
+
+namespace {
+
+/// One in-flight or completed broadcast round on a mesh line.
+struct RmaRound {
+  double sendTimeSeconds = 0.0;
+  double transferSeconds = 0.0;
+};
+
+/// Rendezvous channel for one (reply slot, mesh line) pair.  Senders append
+/// rounds; receivers consume them in order (the generated code issues and
+/// waits strictly alternately per line, so ordinal matching is exact).
+struct RmaChannel {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<RmaRound> rounds;
+};
+
+}  // namespace
+
+class MeshSimulator::Impl {
+ public:
+  Impl(MeshSimulator& owner, const ArchConfig& config, bool functional)
+      : owner_(owner),
+        config_(config),
+        functional_(functional),
+        meshSize_(config.meshSize()),
+        clocks_(static_cast<std::size_t>(meshSize_), 0.0) {
+    if (functional_) {
+      spms_.resize(static_cast<std::size_t>(meshSize_));
+      const std::size_t words =
+          static_cast<std::size_t>(config_.spmBytes) / sizeof(double);
+      for (auto& spm : spms_) spm.assign(words, 0.0);
+    }
+  }
+
+  MeshSimulator& owner_;
+  const ArchConfig& config_;
+  bool functional_;
+  int meshSize_;
+
+  // --- barrier with clock-max completion ---
+  std::mutex barrierMutex_;
+  std::condition_variable barrierCv_;
+  int barrierArrived_ = 0;
+  std::int64_t barrierGeneration_ = 0;
+  double barrierMaxClock_ = 0.0;
+  std::vector<double> clocks_;
+
+  // --- RMA channels, keyed by slot then mesh line ---
+  std::mutex channelsMutex_;
+  std::map<std::string, std::vector<std::unique_ptr<RmaChannel>>> channels_;
+
+  // --- per-CPE SPM (functional mode) ---
+  std::vector<std::vector<double>> spms_;
+
+  // --- error funneling ---
+  std::atomic<bool> aborted_{false};
+  std::mutex errorMutex_;
+  std::exception_ptr firstError_;
+
+  /// Rendezvous channels: broadcasts use one channel per mesh line,
+  /// point-to-point one channel per destination CPE.
+  RmaChannel& channel(const std::string& slot, const char* scope, int index,
+                      int scopeSize) {
+    std::lock_guard<std::mutex> lock(channelsMutex_);
+    auto& lines = channels_[slot + scope];
+    if (lines.empty())
+      for (int i = 0; i < scopeSize; ++i)
+        lines.push_back(std::make_unique<RmaChannel>());
+    return *lines.at(static_cast<std::size_t>(index));
+  }
+  RmaChannel& lineChannel(const std::string& slot, bool isRow, int line) {
+    return channel(slot, isRow ? "@row" : "@col", line,
+                   isRow ? config_.meshRows : config_.meshCols);
+  }
+  RmaChannel& pointChannel(const std::string& slot, int cpeId) {
+    return channel(slot, "@p2p", cpeId, meshSize_);
+  }
+
+  void recordError() {
+    {
+      std::lock_guard<std::mutex> lock(errorMutex_);
+      if (!firstError_) firstError_ = std::current_exception();
+    }
+    aborted_.store(true, std::memory_order_release);
+    // Unblock any waiters (barrier and RMA channels) to avoid deadlock.
+    barrierCv_.notify_all();
+    std::lock_guard<std::mutex> lock(channelsMutex_);
+    for (auto& [key, lines] : channels_)
+      for (auto& channel : lines) channel->cv.notify_all();
+  }
+
+  void checkAborted() {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    if (firstError_) std::rethrow_exception(firstError_);
+  }
+};
+
+namespace {
+
+class ThreadedCpeServices final : public CpeServices {
+ public:
+  ThreadedCpeServices(MeshSimulator::Impl& mesh, int cpeId)
+      : mesh_(mesh),
+        cpeId_(cpeId),
+        rid_(cpeId / mesh.config_.meshCols),
+        cid_(cpeId % mesh.config_.meshCols) {}
+
+  [[nodiscard]] int rid() const override { return rid_; }
+  [[nodiscard]] int cid() const override { return cid_; }
+  [[nodiscard]] bool functional() const override { return mesh_.functional_; }
+
+  void sync() override {
+    ++counters_.syncs;
+    std::unique_lock<std::mutex> lock(mesh_.barrierMutex_);
+    mesh_.clocks_[static_cast<std::size_t>(cpeId_)] = clock_;
+    const std::int64_t myGeneration = mesh_.barrierGeneration_;
+    if (++mesh_.barrierArrived_ == mesh_.meshSize_) {
+      mesh_.barrierMaxClock_ =
+          *std::max_element(mesh_.clocks_.begin(), mesh_.clocks_.end());
+      mesh_.barrierArrived_ = 0;
+      ++mesh_.barrierGeneration_;
+      mesh_.barrierCv_.notify_all();
+    } else {
+      mesh_.barrierCv_.wait(lock, [&] {
+        return mesh_.barrierGeneration_ != myGeneration ||
+               mesh_.aborted_.load(std::memory_order_acquire);
+      });
+      if (mesh_.aborted_.load(std::memory_order_acquire))
+        throw ProtocolError("mesh aborted while waiting at a barrier");
+    }
+    clock_ = mesh_.barrierMaxClock_ + mesh_.config_.syncSeconds;
+  }
+
+  void dmaIssue(const DmaRequest& request) override {
+    const std::int64_t bytes = request.tileRows * request.tileCols *
+                               static_cast<std::int64_t>(sizeof(double));
+    ++counters_.dmaMessages;
+    counters_.dmaBytes += bytes;
+    if (mesh_.functional_) moveDmaData(request);
+    // Non-blocking, but messages from this CPE serialise on its DMA engine;
+    // the reply slot was reset by the issue itself (reply = 0; dma_iget(...)
+    // pattern of §4).
+    const double start = std::max(clock_, dmaEngineBusyUntil_);
+    const double done =
+        start + mesh_.config_.dmaSeconds(bytes, request.tileRows);
+    counters_.dmaBusySeconds += done - start;
+    dmaEngineBusyUntil_ = done;
+    slotCompletion_[request.slot] = done;
+    clock_ += issueOverheadSeconds;
+  }
+
+  void rmaIssue(const RmaRequest& request) override {
+    SW_CHECK(request.isSender, "rmaIssue called on a non-sender CPE");
+    ++counters_.rmaBroadcastsSent;
+    counters_.rmaBytesSent += request.bytes;
+    RmaChannel* channel = nullptr;
+    switch (request.kind) {
+      case RmaKind::kRowBroadcast:
+        channel = &mesh_.lineChannel(request.slot, /*isRow=*/true, rid_);
+        break;
+      case RmaKind::kColBroadcast:
+        channel = &mesh_.lineChannel(request.slot, /*isRow=*/false, cid_);
+        break;
+      case RmaKind::kPointToPoint: {
+        // Messages that leave both the row and the column of the sender
+        // pass through a transit CPE (Fig.8a); the model charges the extra
+        // hop as a second transfer.
+        const int target =
+            request.dstRid * mesh_.config_.meshCols + request.dstCid;
+        channel = &mesh_.pointChannel(request.slot, target);
+        break;
+      }
+    }
+    if (mesh_.functional_) moveRmaData(request);
+    double transfer = mesh_.config_.rmaSeconds(request.bytes);
+    if (request.kind == RmaKind::kPointToPoint && request.dstRid != rid_ &&
+        request.dstCid != cid_)
+      transfer *= 2.0;  // transit hop
+    {
+      std::lock_guard<std::mutex> lock(channel->mutex);
+      channel->rounds.push_back(RmaRound{clock_, transfer});
+    }
+    channel->cv.notify_all();
+    clock_ += issueOverheadSeconds;
+  }
+
+  void rmaWaitPoint(const std::string& slot) override {
+    RmaChannel& channel = mesh_.pointChannel(slot, cpeId_);
+    consumeRound(channel, slot);
+  }
+
+  void waitSlot(const std::string& slot, bool isRma,
+                bool isRowBroadcast) override {
+    if (!isRma) {
+      auto it = slotCompletion_.find(slot);
+      if (it == slotCompletion_.end())
+        throw ProtocolError(
+            strCat("dma_wait_value on slot '", slot, "' with no message"));
+      if (it->second > clock_) {
+        counters_.waitStallSeconds += it->second - clock_;
+        clock_ = it->second;
+      }
+      return;
+    }
+    waitRma(slot, isRowBroadcast);
+  }
+
+  void computeTime(double flops, ComputeRate rate) override {
+    double seconds = 0.0;
+    switch (rate) {
+      case ComputeRate::kAsmKernel:
+        seconds = mesh_.config_.cpeComputeSeconds(
+            flops, mesh_.config_.cpeFlopsPerCycle,
+            mesh_.config_.asmKernelEfficiency);
+        ++counters_.microKernelCalls;
+        break;
+      case ComputeRate::kNaive:
+        seconds = mesh_.config_.cpeComputeSeconds(
+            flops, mesh_.config_.naiveFlopsPerCycle);
+        break;
+      case ComputeRate::kElementwise:
+        seconds = mesh_.config_.cpeComputeSeconds(
+            flops, mesh_.config_.elementwiseFlopsPerCycle);
+        break;
+    }
+    clock_ += seconds;
+    counters_.computeSeconds += seconds;
+  }
+
+  [[nodiscard]] double* spmPtr(std::int64_t offsetBytes) override {
+    if (!mesh_.functional_) return nullptr;
+    return spmPtrOf(cpeId_, offsetBytes);
+  }
+
+  [[nodiscard]] double clockSeconds() const override { return clock_; }
+  [[nodiscard]] const CpeCounters& counters() const override {
+    return counters_;
+  }
+
+ private:
+  static constexpr double issueOverheadSeconds = 0.05e-6;
+
+  double* spmPtrOf(int cpe, std::int64_t offsetBytes) {
+    auto& spm = mesh_.spms_[static_cast<std::size_t>(cpe)];
+    if (offsetBytes < 0 ||
+        offsetBytes % static_cast<std::int64_t>(sizeof(double)) != 0 ||
+        offsetBytes >= static_cast<std::int64_t>(spm.size() * sizeof(double)))
+      throw ProtocolError(strCat("SPM access at byte ", offsetBytes,
+                                 " outside the ", mesh_.config_.spmBytes,
+                                 "-byte SPM"));
+    return spm.data() + offsetBytes / static_cast<std::int64_t>(sizeof(double));
+  }
+
+  void moveDmaData(const DmaRequest& request) {
+    HostArray& array = mesh_.owner_.memory().get(request.array);
+    SW_CHECK(array.hasData(), "functional DMA against a virtual array");
+    double* spm = spmPtrOf(cpeId_, request.spmOffsetBytes);
+    // Validate the SPM side of the transfer fits.
+    const std::int64_t words = request.tileRows * request.tileCols;
+    (void)spmPtrOf(cpeId_, request.spmOffsetBytes +
+                               (words - 1) *
+                                   static_cast<std::int64_t>(sizeof(double)));
+    for (std::int64_t r = 0; r < request.tileRows; ++r) {
+      const std::int64_t hostOffset = array.offsetOf(
+          request.batchIndex, request.rowStart + r, request.colStart);
+      // Right edge of the row must also be in bounds.
+      (void)array.offsetOf(request.batchIndex, request.rowStart + r,
+                           request.colStart + request.tileCols - 1);
+      double* hostRow = array.data() + hostOffset;
+      double* spmRow = spm + r * request.tileCols;
+      const std::size_t bytes =
+          static_cast<std::size_t>(request.tileCols) * sizeof(double);
+      if (request.isPut)
+        std::memcpy(hostRow, spmRow, bytes);
+      else
+        std::memcpy(spmRow, hostRow, bytes);
+    }
+  }
+
+  void moveRmaData(const RmaRequest& request) {
+    const double* src = spmPtrOf(cpeId_, request.srcSpmOffsetBytes);
+    if (request.kind == RmaKind::kPointToPoint) {
+      const int target =
+          request.dstRid * mesh_.config_.meshCols + request.dstCid;
+      std::memcpy(spmPtrOf(target, request.dstSpmOffsetBytes), src,
+                  static_cast<std::size_t>(request.bytes));
+      return;
+    }
+    const bool isRow = request.kind == RmaKind::kRowBroadcast;
+    const int peers =
+        isRow ? mesh_.config_.meshCols : mesh_.config_.meshRows;
+    for (int p = 0; p < peers; ++p) {
+      const int target = isRow ? rid_ * mesh_.config_.meshCols + p
+                               : p * mesh_.config_.meshCols + cid_;
+      double* dst = spmPtrOf(target, request.dstSpmOffsetBytes);
+      std::memcpy(dst, src, static_cast<std::size_t>(request.bytes));
+    }
+  }
+
+  /// Block for the next unconsumed round on `channel`; rounds are matched
+  /// ordinally per slot (issue/wait strictly alternate in generated code).
+  void consumeRound(RmaChannel& channel, const std::string& slot) {
+    const std::size_t round = rmaConsumed_[slot]++;
+    std::unique_lock<std::mutex> lock(channel.mutex);
+    channel.cv.wait(lock, [&] {
+      return channel.rounds.size() > round ||
+             mesh_.aborted_.load(std::memory_order_acquire);
+    });
+    if (channel.rounds.size() <= round)
+      throw ProtocolError("mesh aborted while waiting for an RMA message");
+    const RmaRound& r = channel.rounds[round];
+    const double completion = r.sendTimeSeconds + r.transferSeconds;
+    if (completion > clock_) {
+      counters_.waitStallSeconds += completion - clock_;
+      clock_ = completion;
+    }
+  }
+
+  void waitRma(const std::string& slot, bool isRow) {
+    const int line = isRow ? rid_ : cid_;
+    consumeRound(mesh_.lineChannel(slot, isRow, line), slot);
+  }
+
+  MeshSimulator::Impl& mesh_;
+  int cpeId_;
+  int rid_;
+  int cid_;
+  double clock_ = 0.0;
+  double dmaEngineBusyUntil_ = 0.0;
+  CpeCounters counters_;
+  std::map<std::string, double> slotCompletion_;
+  std::map<std::string, std::size_t> rmaConsumed_;
+};
+
+}  // namespace
+
+MeshSimulator::MeshSimulator(const ArchConfig& config, bool functional)
+    : config_(config), functional_(functional) {
+  impl_ = std::make_unique<Impl>(*this, config_, functional_);
+}
+
+MeshSimulator::~MeshSimulator() = default;
+
+MeshRunResult MeshSimulator::run(
+    const std::function<void(CpeServices&)>& body) {
+  // Fresh per-run state (channels, barrier) while keeping SPM/host memory.
+  impl_->channels_.clear();
+  impl_->firstError_ = nullptr;
+  impl_->aborted_.store(false);
+  impl_->barrierArrived_ = 0;
+  std::fill(impl_->clocks_.begin(), impl_->clocks_.end(), 0.0);
+
+  std::vector<std::unique_ptr<ThreadedCpeServices>> services;
+  services.reserve(static_cast<std::size_t>(impl_->meshSize_));
+  for (int id = 0; id < impl_->meshSize_; ++id)
+    services.push_back(std::make_unique<ThreadedCpeServices>(*impl_, id));
+
+  std::vector<std::thread> threads;
+  threads.reserve(services.size());
+  for (auto& svc : services) {
+    threads.emplace_back([&body, &svc, this] {
+      try {
+        body(*svc);
+      } catch (...) {
+        impl_->recordError();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  impl_->checkAborted();
+
+  MeshRunResult result;
+  result.perCpeSeconds.reserve(services.size());
+  for (auto& svc : services) {
+    result.perCpeSeconds.push_back(svc->clockSeconds());
+    result.totals.add(svc->counters());
+  }
+  result.seconds =
+      *std::max_element(result.perCpeSeconds.begin(),
+                        result.perCpeSeconds.end()) +
+      config_.spawnOverheadSeconds;
+  return result;
+}
+
+}  // namespace sw::sunway

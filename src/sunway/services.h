@@ -1,0 +1,138 @@
+// The per-CPE execution interface the kernel-program interpreter drives.
+//
+// Two implementations exist:
+//   * ThreadedCpeServices (mesh.h) — one OS thread per CPE, real SPM and
+//     main-memory data, condition-variable reply protocol; functional
+//     ground truth plus logical-clock timing.
+//   * SymmetricCpeServices (estimator.h) — sequential single-CPE model
+//     exploiting the mesh symmetry of the generated GEMM code; timing only,
+//     scales to paper-sized shapes.  Validated against the threaded runtime
+//     in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sw::sunway {
+
+/// Compute-rate classes the timing model distinguishes.
+enum class ComputeRate {
+  kAsmKernel,     // vendor micro-kernel (§7.2)
+  kNaive,         // --no-use-asm loop nest
+  kElementwise,   // SPM tile element-wise ops
+};
+
+/// A fully evaluated DMA message (addresses resolved by the interpreter).
+struct DmaRequest {
+  bool isPut = false;
+  std::string array;          // global array name
+  std::int64_t batchIndex = 0;
+  std::int64_t rowStart = 0;  // r of Eq. (1)
+  std::int64_t colStart = 0;  // c of Eq. (1)
+  std::int64_t tileRows = 0;  // X_tau
+  std::int64_t tileCols = 0;  // Y_tau  (== len)
+  std::int64_t spmOffsetBytes = 0;
+  std::string slot;
+};
+
+/// The three RMA manners of §5 (Fig.8): point-to-point between two CPEs,
+/// row/column-wise broadcast, and the all-broadcast composed from them
+/// (see sunway/collectives.h).
+enum class RmaKind {
+  kRowBroadcast,
+  kColBroadcast,
+  kPointToPoint,
+};
+
+/// A fully evaluated RMA message.
+struct RmaRequest {
+  RmaKind kind = RmaKind::kRowBroadcast;
+  bool isSender = false;
+  std::int64_t bytes = 0;
+  std::int64_t srcSpmOffsetBytes = 0;  // sender-side staging buffer
+  std::int64_t dstSpmOffsetBytes = 0;  // receive buffer
+  std::string slot;
+  /// Point-to-point only: mesh coordinates of the destination CPE.
+  int dstRid = 0;
+  int dstCid = 0;
+
+  [[nodiscard]] bool isRowBroadcast() const {
+    return kind == RmaKind::kRowBroadcast;
+  }
+};
+
+/// Aggregate counters a run produces; summed over CPEs by the runtimes.
+struct CpeCounters {
+  std::int64_t dmaMessages = 0;
+  std::int64_t dmaBytes = 0;
+  std::int64_t rmaBroadcastsSent = 0;
+  std::int64_t rmaBytesSent = 0;
+  std::int64_t syncs = 0;
+  std::int64_t microKernelCalls = 0;
+  double computeSeconds = 0.0;
+  /// Time the CPE's DMA engine spends transferring (may overlap compute —
+  /// that overlap is exactly what §6's pipelining buys).
+  double dmaBusySeconds = 0.0;
+  /// Time the CPE's clock is advanced by reply waits (exposed latency).
+  double waitStallSeconds = 0.0;
+
+  void add(const CpeCounters& other) {
+    dmaMessages += other.dmaMessages;
+    dmaBytes += other.dmaBytes;
+    rmaBroadcastsSent += other.rmaBroadcastsSent;
+    rmaBytesSent += other.rmaBytesSent;
+    syncs += other.syncs;
+    microKernelCalls += other.microKernelCalls;
+    computeSeconds += other.computeSeconds;
+    dmaBusySeconds += other.dmaBusySeconds;
+    waitStallSeconds += other.waitStallSeconds;
+  }
+};
+
+class CpeServices {
+ public:
+  virtual ~CpeServices() = default;
+
+  [[nodiscard]] virtual int rid() const = 0;
+  [[nodiscard]] virtual int cid() const = 0;
+
+  /// True when the runtime carries real data (SPM + main memory); false in
+  /// timing-only mode.
+  [[nodiscard]] virtual bool functional() const = 0;
+
+  /// True for the symmetric estimator: RMA sender guards are treated as
+  /// satisfied so the single simulated CPE accounts every broadcast round.
+  [[nodiscard]] virtual bool guardAlwaysTrue() const { return false; }
+
+  /// Mesh-wide barrier (athread synch()).
+  virtual void sync() = 0;
+
+  /// Issue a non-blocking DMA; resets `slot` and records completion time.
+  virtual void dmaIssue(const DmaRequest& request) = 0;
+
+  /// Issue a non-blocking RMA broadcast (only called on the sender).
+  virtual void rmaIssue(const RmaRequest& request) = 0;
+
+  /// dma_wait_value / rma_wait_value: block until the message tied to
+  /// `slot` completes; advances the logical clock.  For RMA waits,
+  /// `isRowBroadcast` selects the mesh line whose channel carries the data.
+  virtual void waitSlot(const std::string& slot, bool isRma,
+                        bool isRowBroadcast) = 0;
+
+  /// Receive side of a point-to-point RMA (Fig.8a): block until the next
+  /// message addressed to this CPE on `slot` arrives.
+  virtual void rmaWaitPoint(const std::string& slot) = 0;
+
+  /// Account `flops` of compute at the given rate class (advances clock;
+  /// the functional runtime performs the math separately via spmPtr data).
+  virtual void computeTime(double flops, ComputeRate rate) = 0;
+
+  /// Pointer into this CPE's SPM at `offsetBytes` (element-aligned);
+  /// nullptr in timing-only mode.
+  [[nodiscard]] virtual double* spmPtr(std::int64_t offsetBytes) = 0;
+
+  [[nodiscard]] virtual double clockSeconds() const = 0;
+  [[nodiscard]] virtual const CpeCounters& counters() const = 0;
+};
+
+}  // namespace sw::sunway

@@ -1,0 +1,63 @@
+// Error handling primitives shared by every swcodegen module.
+//
+// The library uses exceptions for unrecoverable, programmer-visible errors
+// (malformed input programs, schedule-tree invariant violations, simulator
+// protocol violations).  `Error` carries a human-readable message built with
+// the lightweight formatting helpers in format.h.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sw {
+
+/// Base exception for all swcodegen errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Thrown when user input (source program, options, shapes) is invalid.
+class InputError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an internal invariant is violated; indicates a bug in the
+/// compiler or simulator rather than in user input.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown by the simulator when generated code violates the athread
+/// programming protocol (e.g. touching a buffer before its DMA reply
+/// arrived, out-of-bounds SPM access).
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] inline void throwInternal(std::string message) {
+  throw InternalError(std::move(message));
+}
+
+[[noreturn]] inline void throwInput(std::string message) {
+  throw InputError(std::move(message));
+}
+
+}  // namespace sw
+
+/// Check an internal invariant; cheap enough to keep enabled in release
+/// builds because every use sits far off the hot simulation paths.
+#define SW_CHECK(cond, message)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::sw::throwInternal(std::string("SW_CHECK failed: ") + #cond +  \
+                          " — " + (message));                         \
+    }                                                                 \
+  } while (0)
+
+#define SW_UNREACHABLE(message) \
+  ::sw::throwInternal(std::string("unreachable: ") + (message))

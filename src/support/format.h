@@ -1,0 +1,79 @@
+// Minimal string formatting helpers (GCC 12 lacks std::format).
+//
+// `strCat(a, b, ...)` stringifies and concatenates its arguments; it is the
+// workhorse for error messages and pretty-printers throughout the project.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sw {
+
+namespace detail {
+inline void appendOne(std::ostringstream& os, const std::string& v) { os << v; }
+inline void appendOne(std::ostringstream& os, std::string_view v) { os << v; }
+inline void appendOne(std::ostringstream& os, const char* v) { os << v; }
+inline void appendOne(std::ostringstream& os, char v) { os << v; }
+inline void appendOne(std::ostringstream& os, bool v) {
+  os << (v ? "true" : "false");
+}
+template <typename T>
+void appendOne(std::ostringstream& os, const T& v) {
+  os << v;
+}
+}  // namespace detail
+
+/// Concatenate the string forms of all arguments.
+template <typename... Args>
+std::string strCat(const Args&... args) {
+  std::ostringstream os;
+  (detail::appendOne(os, args), ...);
+  return os.str();
+}
+
+/// Join the elements of `parts` with `sep`.
+template <typename Range>
+std::string strJoin(const Range& parts, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    first = false;
+    detail::appendOne(os, p);
+  }
+  return os.str();
+}
+
+/// An indenting code writer used by all pretty-printers.  Lines are emitted
+/// with the current indentation prefix; indent()/dedent() adjust nesting.
+class CodeWriter {
+ public:
+  explicit CodeWriter(int indentWidth = 2) : indentWidth_(indentWidth) {}
+
+  void indent() { ++level_; }
+  void dedent() {
+    if (level_ > 0) --level_;
+  }
+
+  /// Emit one full line (indentation + text + newline).
+  template <typename... Args>
+  void line(const Args&... args) {
+    body_.append(static_cast<std::size_t>(level_ * indentWidth_), ' ');
+    body_ += strCat(args...);
+    body_ += '\n';
+  }
+
+  /// Emit a blank line.
+  void blank() { body_ += '\n'; }
+
+  [[nodiscard]] const std::string& str() const { return body_; }
+
+ private:
+  int indentWidth_;
+  int level_ = 0;
+  std::string body_;
+};
+
+}  // namespace sw

@@ -1,0 +1,60 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace sw {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialised
+std::mutex g_mutex;
+
+LogLevel levelFromEnv() {
+  const char* env = std::getenv("SWCODEGEN_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel logLevel() {
+  int lv = g_level.load(std::memory_order_relaxed);
+  if (lv < 0) {
+    lv = static_cast<int>(levelFromEnv());
+    g_level.store(lv, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lv);
+}
+
+void setLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void logMessage(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[swcodegen %s] %s\n", levelName(level),
+               message.c_str());
+}
+
+}  // namespace sw

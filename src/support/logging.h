@@ -1,0 +1,29 @@
+// Tiny leveled logger.  The simulator and compiler are silent by default;
+// set SWCODEGEN_LOG=debug|info|warn in the environment (or call
+// setLogLevel) to see pipeline traces.
+#pragma once
+
+#include <string>
+
+namespace sw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+/// Global log threshold; initialised from $SWCODEGEN_LOG on first use.
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// Write one log line to stderr if `level` passes the threshold.
+void logMessage(LogLevel level, const std::string& message);
+
+}  // namespace sw
+
+#define SW_LOG(level, ...)                                            \
+  do {                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(::sw::logLevel())) \
+      ::sw::logMessage(level, ::sw::strCat(__VA_ARGS__));             \
+  } while (0)
+
+#define SW_DEBUG(...) SW_LOG(::sw::LogLevel::kDebug, __VA_ARGS__)
+#define SW_INFO(...) SW_LOG(::sw::LogLevel::kInfo, __VA_ARGS__)
+#define SW_WARN(...) SW_LOG(::sw::LogLevel::kWarn, __VA_ARGS__)

@@ -1,0 +1,52 @@
+// Small integer math helpers used across the polyhedral layer and the
+// simulator timing model.  All helpers are total for the documented
+// preconditions and are constexpr so they can be used in static contexts.
+#pragma once
+
+#include <cstdint>
+
+namespace sw {
+
+/// Floor division that is correct for negative numerators (unlike C++ `/`,
+/// which truncates toward zero).  Precondition: d > 0.
+constexpr std::int64_t floorDiv(std::int64_t n, std::int64_t d) {
+  std::int64_t q = n / d;
+  std::int64_t r = n % d;
+  return (r != 0 && r < 0) ? q - 1 : q;
+}
+
+/// Ceiling division; correct for negative numerators.  Precondition: d > 0.
+constexpr std::int64_t ceilDiv(std::int64_t n, std::int64_t d) {
+  return -floorDiv(-n, d);
+}
+
+/// Mathematical modulus with result in [0, d).  Precondition: d > 0.
+constexpr std::int64_t floorMod(std::int64_t n, std::int64_t d) {
+  return n - d * floorDiv(n, d);
+}
+
+/// Round n up to the next multiple of m.  Precondition: m > 0.
+constexpr std::int64_t roundUp(std::int64_t n, std::int64_t m) {
+  return ceilDiv(n, m) * m;
+}
+
+constexpr bool isPowerOfTwo(std::int64_t n) {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+/// Greatest common divisor of non-negative integers.
+constexpr std::int64_t gcd(std::int64_t a, std::int64_t b) {
+  while (b != 0) {
+    std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+constexpr std::int64_t lcm(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a / gcd(a, b) * b;
+}
+
+}  // namespace sw

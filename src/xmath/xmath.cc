@@ -1,0 +1,94 @@
+#include "xmath/xmath.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernel/reference.h"
+#include "support/math_util.h"
+
+namespace sw::xmath {
+
+void dgemm(double* c, const double* a, const double* b, std::int64_t m,
+           std::int64_t n, std::int64_t k, double alpha, double beta) {
+  kernel::referenceGemm(c, a, b, m, n, k, alpha, beta);
+}
+
+void dgemmBatched(double* c, const double* a, const double* b,
+                  std::int64_t batch, std::int64_t m, std::int64_t n,
+                  std::int64_t k, double alpha, double beta) {
+  kernel::referenceBatchedGemm(c, a, b, batch, m, n, k, alpha, beta);
+}
+
+namespace {
+
+/// Deterministic per-shape jitter in [-1, 1], standing in for the run-to-run
+/// variation of a measured library.
+double shapeJitter(std::int64_t m, std::int64_t n, std::int64_t k) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t v : {static_cast<std::uint64_t>(m),
+                          static_cast<std::uint64_t>(n),
+                          static_cast<std::uint64_t>(k)}) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+  }
+  return (static_cast<double>(h >> 11) /
+              static_cast<double>(1ull << 53)) *
+             2.0 -
+         1.0;
+}
+
+}  // namespace
+
+double XMathModel::efficiency(std::int64_t m, std::int64_t n,
+                              std::int64_t k) const {
+  double eff;
+  if (isPowerOfTwo(k)) {
+    // Mature code path: efficiency grows with the reduction depth, peaking
+    // above 93% at K = 16384 (§8.2).
+    const double depth = std::min(1.0, static_cast<double>(k) / 16384.0);
+    eff = 0.885 + 0.050 * depth;
+  } else if (k >= 5120) {
+    // The immature path the paper observes: large non-power-of-two K
+    // collapses, bottoming out at 42.25% for 8192x8192x15360; smaller
+    // parallel extents degrade less (the nine Fig.14 degradations vary).
+    const double excess =
+        std::min(1.0, static_cast<double>(k - 5120) / (15360.0 - 5120.0));
+    const double sizeFactor =
+        std::min(1.0, static_cast<double>(m) * static_cast<double>(n) /
+                          (8192.0 * 8192.0));
+    eff = 0.64 - 0.22 * excess * sizeFactor;
+  } else {
+    // Small non-power-of-two K: only a mild penalty.
+    eff = 0.855;
+  }
+  // Mild penalty when the parallel dimensions are not powers of two.
+  if (!isPowerOfTwo(m)) eff -= 0.008;
+  if (!isPowerOfTwo(n)) eff -= 0.008;
+  eff += 0.02 * shapeJitter(m, n, k) * eff;
+  return std::clamp(eff, 0.05, 0.99);
+}
+
+double XMathModel::gemmSeconds(std::int64_t m, std::int64_t n,
+                               std::int64_t k) const {
+  const double flops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(n) * static_cast<double>(k);
+  return launchOverheadSeconds() +
+         flops / (arch_.peakFlops() * efficiency(m, n, k));
+}
+
+double XMathModel::batchedGemmSeconds(std::int64_t batch, std::int64_t m,
+                                      std::int64_t n, std::int64_t k) const {
+  return static_cast<double>(batch) * gemmSeconds(m, n, k);
+}
+
+double XMathModel::mpeElementwiseSeconds(std::int64_t elements) const {
+  // One read and one write per element through the MPE's memory path, plus
+  // the scalar op itself.
+  const double bytes = 2.0 * static_cast<double>(elements) * sizeof(double);
+  const double memory = bytes / arch_.mpeMemBandwidthBytesPerSec;
+  const double compute = static_cast<double>(elements) /
+                         (arch_.mpeFrequencyHz * arch_.mpeFlopsPerCycle);
+  return std::max(memory, compute);
+}
+
+}  // namespace sw::xmath

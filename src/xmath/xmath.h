@@ -1,0 +1,76 @@
+// Simulated xMath — the vendor BLAS library the paper compares against
+// (§8.2–§8.4).  xMath is closed source; the paper itself reasons about it
+// from measurements.  This model implements exactly the externally
+// observable behaviours the paper reports:
+//
+//  * strong efficiency for power-of-two K (≥93% of peak at K = 16384,
+//    §8.2: "the Gflops numbers of xMath indeed exceed 93.00% of the peak
+//    performance ... when the size of the k dimension is 16384");
+//  * severe degradation for large non-power-of-two K (down to ~42% at
+//    K = 15360, observed nine times in Fig.14);
+//  * strong results on small square shapes (where the generated code's
+//    DMA latency hiding has too few overlaps, §8.1);
+//  * one CPE-mesh startup per call, so batched GEMM pays a launch +
+//    coarse synchronisation cost per batch element (§8.3);
+//  * no fusion: prologue/epilogue element-wise passes execute on the MPE
+//    over main memory (§8.4).
+//
+// The functional path is exact DGEMM (it delegates to the reference
+// kernel), so correctness comparisons in tests are meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "sunway/arch.h"
+
+namespace sw::xmath {
+
+/// Functional xMath dgemm: C = alpha*A*B + beta*C (row-major).
+void dgemm(double* c, const double* a, const double* b, std::int64_t m,
+           std::int64_t n, std::int64_t k, double alpha, double beta);
+
+/// Functional batched dgemm over contiguous batch-major operands.
+void dgemmBatched(double* c, const double* a, const double* b,
+                  std::int64_t batch, std::int64_t m, std::int64_t n,
+                  std::int64_t k, double alpha, double beta);
+
+/// Timing model.
+class XMathModel {
+ public:
+  explicit XMathModel(const sunway::ArchConfig& arch) : arch_(arch) {}
+
+  /// Shape-dependent fraction of peak xMath sustains (deterministic,
+  /// including the +-2% measurement-style jitter).
+  [[nodiscard]] double efficiency(std::int64_t m, std::int64_t n,
+                                  std::int64_t k) const;
+
+  /// One dgemm call (includes one mesh launch).
+  [[nodiscard]] double gemmSeconds(std::int64_t m, std::int64_t n,
+                                   std::int64_t k) const;
+
+  /// Batched gemm: the batch dimension cannot be embedded (§8.3), so the
+  /// library launches the CPE mesh once per element.
+  [[nodiscard]] double batchedGemmSeconds(std::int64_t batch, std::int64_t m,
+                                          std::int64_t n,
+                                          std::int64_t k) const;
+
+  /// An element-wise pass over `elements` doubles executed on the MPE
+  /// (read + write through main memory); used by the unfused
+  /// prologue/epilogue baselines of §8.4.
+  [[nodiscard]] double mpeElementwiseSeconds(std::int64_t elements) const;
+
+  /// Per-call launch overhead (athread spawn + library setup + the
+  /// coarse-grained synchronisations of §8.3).
+  [[nodiscard]] double launchOverheadSeconds() const { return 120e-6; }
+
+  [[nodiscard]] double gflops(std::int64_t m, std::int64_t n,
+                              std::int64_t k) const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k) / gemmSeconds(m, n, k) / 1e9;
+  }
+
+ private:
+  const sunway::ArchConfig& arch_;
+};
+
+}  // namespace sw::xmath

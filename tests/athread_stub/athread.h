@@ -1,0 +1,9 @@
+/* Stub of the Sunway athread host-side header, sufficient to compile the
+ * generated MPE code with a host C compiler.  athread_spawn is a macro in
+ * the real header too (it prefixes the slave symbol). */
+#pragma once
+
+void athread_init(void);
+void athread_join(void);
+
+#define athread_spawn(fn, args) slave_##fn(args)

@@ -1,0 +1,4 @@
+/* Stub of the Sunway SIMD intrinsics header (-msimd); the generated code
+ * only needs it to exist — vectorisation lives inside the vendor assembly
+ * micro-kernel. */
+#pragma once

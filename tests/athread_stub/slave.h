@@ -1,0 +1,30 @@
+/* Stub of the Sunway athread slave-side header, sufficient to compile the
+ * generated CPE code with a host C compiler.  The real header ships with
+ * swgcc; only the declarations the code generator emits are stubbed. */
+#pragma once
+
+#define __thread_local /* SPM storage class: plain static storage here */
+
+/* Mesh coordinates of the executing CPE. */
+extern long _ROW;
+extern long _COL;
+
+/* Non-blocking DMA (§4). */
+void dma_iget(void *dst, void *src, long size, long len, long strip,
+              volatile int *reply);
+void dma_iput(void *dst, void *src, long size, long len, long strip,
+              volatile int *reply);
+void dma_wait_value(volatile int *reply, int value);
+
+/* Non-blocking RMA broadcasts (§5). */
+void rma_row_ibcast(void *dst, void *src, long size, volatile int *replys,
+                    volatile int *replyr);
+void rma_col_ibcast(void *dst, void *src, long size, volatile int *replys,
+                    volatile int *replyr);
+void rma_wait_value(volatile int *reply, int value);
+
+/* Mesh synchronisation. */
+void athread_ssync_array(void);
+
+/* libm subset used by generated element-wise code. */
+double nearbyint(double x);

@@ -1,0 +1,178 @@
+// Robustness tests of the frontend on adversarial inputs: malformed
+// syntax, near-miss GEMM patterns, and formatting variations the parser
+// must tolerate.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "frontend/pattern.h"
+#include "support/error.h"
+
+namespace sw::frontend {
+namespace {
+
+TEST(FrontendRobustness, ToleratesDenseFormatting) {
+  GemmPatternInfo info = analyzeGemmSource(
+      "void g(long M,long N,long K,double A[M][K],double B[K][N],"
+      "double C[M][N]){for(long i=0;i<M;i++)for(long j=0;j<N;j++)"
+      "for(long k=0;k<K;k++)C[i][j]+=A[i][k]*B[k][j];}");
+  EXPECT_EQ(info.functionName, "g");
+}
+
+TEST(FrontendRobustness, ToleratesCommentsEverywhere) {
+  GemmPatternInfo info = analyzeGemmSource(R"(
+// outer comment
+void /* inline */ g(long M, long N, long K, double A[M][K],
+                    double B[K][N], double C[M][N]) {
+  /* block
+     comment */
+  for (long i = 0; i < M; i++)     // row loop
+    for (long j = 0; j < N; j++)   /* column loop */
+      for (long k = 0; k < K; k++)
+        C[i][j] += A[i][k] * B[k][j];  // the statement
+}
+)");
+  EXPECT_EQ(info.arrayC, "C");
+}
+
+TEST(FrontendRobustness, AcceptsIntLoopVariables) {
+  GemmPatternInfo info = analyzeGemmSource(R"(
+void g(int M, int N, int K, double A[M][K], double B[K][N],
+       double C[M][N]) {
+  for (int i = 0; i < M; ++i)
+    for (int j = 0; j < N; ++j)
+      for (int k = 0; k < K; ++k)
+        C[i][j] += A[i][k] * B[k][j];
+}
+)");
+  EXPECT_EQ(info.paramM, "M");
+}
+
+TEST(FrontendRobustness, AlphaPositionIsFree) {
+  // alpha can sit anywhere in the product.
+  for (const char* product :
+       {"alpha * A[i][k] * B[k][j]", "A[i][k] * alpha * B[k][j]",
+        "A[i][k] * B[k][j] * alpha"}) {
+    std::string source = std::string(R"(
+void g(long M, long N, long K, double alpha, double A[M][K],
+       double B[K][N], double C[M][N]) {
+  for (long i = 0; i < M; i++)
+    for (long j = 0; j < N; j++)
+      for (long k = 0; k < K; k++)
+        C[i][j] = C[i][j] + )") +
+                         product + ";\n}";
+    GemmPatternInfo info = analyzeGemmSource(source);
+    EXPECT_EQ(info.alphaVar, "alpha") << product;
+  }
+}
+
+TEST(FrontendRobustness, RejectsTwoScalarFactors) {
+  EXPECT_THROW(analyzeGemmSource(R"(
+void g(long M, long N, long K, double a, double b, double A[M][K],
+       double B[K][N], double C[M][N]) {
+  for (long i = 0; i < M; i++)
+    for (long j = 0; j < N; j++)
+      for (long k = 0; k < K; k++)
+        C[i][j] += a * b * A[i][k] * B[k][j];
+}
+)"),
+               sw::InputError);
+}
+
+TEST(FrontendRobustness, RejectsWrongAccumulator) {
+  // D on the left, C inside: not the self-accumulation form.
+  EXPECT_THROW(analyzeGemmSource(R"(
+void g(long M, long N, long K, double A[M][K], double B[K][N],
+       double C[M][N], double D[M][N]) {
+  for (long i = 0; i < M; i++)
+    for (long j = 0; j < N; j++)
+      for (long k = 0; k < K; k++)
+        D[i][j] = C[i][j] + A[i][k] * B[k][j];
+}
+)"),
+               sw::InputError);
+}
+
+TEST(FrontendRobustness, RejectsDivisionInProduct) {
+  EXPECT_THROW(analyzeGemmSource(R"(
+void g(long M, long N, long K, double A[M][K], double B[K][N],
+       double C[M][N]) {
+  for (long i = 0; i < M; i++)
+    for (long j = 0; j < N; j++)
+      for (long k = 0; k < K; k++)
+        C[i][j] += A[i][k] / B[k][j];
+}
+)"),
+               sw::InputError);
+}
+
+TEST(FrontendRobustness, RejectsWrongLoopOrder) {
+  // k outermost: not the canonical (i, j, k) order the decomposition maps
+  // onto the mesh.
+  EXPECT_THROW(analyzeGemmSource(R"(
+void g(long M, long N, long K, double A[M][K], double B[K][N],
+       double C[M][N]) {
+  for (long k = 0; k < K; k++)
+    for (long i = 0; i < M; i++)
+      for (long j = 0; j < N; j++)
+        C[i][j] += A[i][k] * B[k][j];
+}
+)"),
+               sw::InputError);
+}
+
+TEST(FrontendRobustness, RejectsNonParameterBound) {
+  // Triangular bounds parse, but semantic analysis requires rectangular
+  // parameter bounds (the GEMM decomposition's precondition).
+  EXPECT_THROW(analyzeGemmSource(R"(
+void g(long M, double A[M][M]) {
+  for (long i = 0; i < M; i++)
+    for (long j = 0; j < i; j++)
+      A[i][j] += A[j][i];
+}
+)"),
+               sw::InputError);
+}
+
+TEST(FrontendRobustness, RejectsUnterminatedComment) {
+  EXPECT_THROW(parseFunction("void f(long N) { /* oops"), sw::InputError);
+}
+
+TEST(FrontendRobustness, RejectsMissingSemicolon) {
+  EXPECT_THROW(parseFunction(R"(
+void g(long N, double A[N][N]) {
+  for (long i = 0; i < N; i++)
+    for (long j = 0; j < N; j++)
+      A[i][j] = A[i][j]
+}
+)"),
+               sw::InputError);
+}
+
+TEST(FrontendRobustness, RejectsEpilogueOnWrongArray) {
+  // relu applied to B, not to the GEMM output: no fusion pattern.
+  EXPECT_THROW(analyzeGemmSource(R"(
+void g(long M, long N, long K, double A[M][K], double B[K][N],
+       double C[M][N]) {
+  for (long i = 0; i < M; i++)
+    for (long j = 0; j < N; j++)
+      for (long k = 0; k < K; k++)
+        C[i][j] += A[i][k] * B[k][j];
+  for (long i = 0; i < M; i++)
+    for (long j = 0; j < N; j++)
+      A[i][j] = relu(A[i][j]);
+}
+)"),
+               sw::InputError);
+}
+
+TEST(FrontendRobustness, DiagnosticsCarryLineNumbers) {
+  try {
+    parseFunction("void f(long N) {\n  for (long i = 1; i < N; i++)\n}");
+    FAIL() << "expected InputError";
+  } catch (const sw::InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sw::frontend

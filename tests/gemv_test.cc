@@ -1,0 +1,120 @@
+// GEMV extension tests (§9): functional bit-exactness against the oracle,
+// padding, pipelining on/off, and the memory-bound performance ceiling.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/gemv.h"
+#include "kernel/reference.h"
+
+namespace sw::core {
+namespace {
+
+std::vector<double> randomVector(std::int64_t count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> data(static_cast<std::size_t>(count));
+  for (double& v : data) v = dist(rng);
+  return data;
+}
+
+TEST(Gemv, FunctionalMatchesReference) {
+  sunway::ArchConfig arch;
+  CompiledGemv kernel = compileGemv(arch);
+
+  const std::int64_t m = 4096, k = 256;
+  std::vector<double> a = randomVector(m * k, 1);
+  std::vector<double> x = randomVector(k, 2);
+  std::vector<double> y = randomVector(m, 3);
+  std::vector<double> expected = y;
+
+  GemvProblem problem{m, k, 1.5, 0.5};
+  rt::RunOutcome outcome =
+      runGemvFunctional(kernel, arch, problem, a, x, y);
+  referenceGemv(expected.data(), a.data(), x.data(), m, k, 1.5, 0.5,
+                kernel.options.kChunk);
+  EXPECT_EQ(kernel::maxAbsDiff(y.data(), expected.data(), m), 0.0);
+  EXPECT_GT(outcome.counters.dmaMessages, 0);
+}
+
+TEST(Gemv, UnpaddedShapeIsZeroPadded) {
+  sunway::ArchConfig arch;
+  CompiledGemv kernel = compileGemv(arch);
+  const std::int64_t m = 1000, k = 100;
+  std::vector<double> a = randomVector(m * k, 11);
+  std::vector<double> x = randomVector(k, 12);
+  std::vector<double> y = randomVector(m, 13);
+  std::vector<double> expected = y;
+  GemvProblem problem{m, k, -2.0, 1.0};
+  runGemvFunctional(kernel, arch, problem, a, x, y);
+  referenceGemv(expected.data(), a.data(), x.data(), m, k, -2.0, 1.0,
+                kernel.options.kChunk);
+  EXPECT_EQ(kernel::maxAbsDiff(y.data(), expected.data(), m), 0.0);
+}
+
+TEST(Gemv, UnpipelinedVariantAlsoExact) {
+  sunway::ArchConfig arch;
+  GemvOptions options;
+  options.hideLatency = false;
+  CompiledGemv kernel = compileGemv(arch, options);
+  const std::int64_t m = 4096, k = 384;
+  std::vector<double> a = randomVector(m * k, 21);
+  std::vector<double> x = randomVector(k, 22);
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> expected = y;
+  GemvProblem problem{m, k, 1.0, 0.0};
+  runGemvFunctional(kernel, arch, problem, a, x, y);
+  referenceGemv(expected.data(), a.data(), x.data(), m, k, 1.0, 0.0,
+                options.kChunk);
+  EXPECT_EQ(kernel::maxAbsDiff(y.data(), expected.data(), m), 0.0);
+}
+
+TEST(Gemv, PerformanceIsBandwidthBound) {
+  // GEMV moves ~8 bytes of A per 2 flops: the model must land near the
+  // DDR bandwidth ceiling (2 flops per 8 bytes * 36 GB/s = 9 GFLOPS),
+  // far below the compute peak.
+  sunway::ArchConfig arch;
+  CompiledGemv kernel = compileGemv(arch);
+  rt::RunOutcome outcome =
+      estimateGemv(kernel, arch, GemvProblem{65536, 16384});
+  const double bwBound =
+      arch.ddrBandwidthBytesPerSec / sizeof(double) * 2.0 / 1e9;
+  EXPECT_LT(outcome.gflops, bwBound);
+  EXPECT_GT(outcome.gflops, 0.5 * bwBound);
+  EXPECT_LT(outcome.gflops, 0.02 * arch.peakFlops() / 1e9);
+}
+
+TEST(Gemv, PipeliningHidesSomething) {
+  sunway::ArchConfig arch;
+  CompiledGemv hidden = compileGemv(arch);
+  GemvOptions plainOptions;
+  plainOptions.hideLatency = false;
+  CompiledGemv plain = compileGemv(arch, plainOptions);
+  const GemvProblem problem{65536, 16384};
+  EXPECT_LT(estimateGemv(hidden, arch, problem).seconds,
+            estimateGemv(plain, arch, problem).seconds);
+}
+
+TEST(Gemv, GeneratedSourcesLookRight) {
+  sunway::ArchConfig arch;
+  CompiledGemv kernel = compileGemv(arch);
+  EXPECT_NE(kernel.cpeSource.find("swgemv_cpe"), std::string::npos);
+  EXPECT_NE(kernel.cpeSource.find("dma_iget"), std::string::npos);
+  EXPECT_NE(kernel.cpeSource.find("dgemm_naive"), std::string::npos);
+  EXPECT_EQ(kernel.cpeSource.find("rma_"), std::string::npos);
+  EXPECT_NE(kernel.mpeSource.find("athread_spawn(swgemv_cpe"),
+            std::string::npos);
+}
+
+TEST(Gemv, SpmBudgetRespected) {
+  sunway::ArchConfig arch;
+  CompiledGemv kernel = compileGemv(arch);
+  EXPECT_LE(kernel.program.spmBytesUsed(), arch.spmBytes);
+  GemvOptions big;
+  big.kChunk = 2048;  // 64 x 2048 x 2 phases = 2 MiB: must be rejected
+  EXPECT_THROW(compileGemv(arch, big), sw::InputError);
+}
+
+}  // namespace
+}  // namespace sw::core

@@ -1,0 +1,161 @@
+// Unit tests of the kernel-program interpreter on hand-built programs,
+// executed against the sequential estimator backend: loop/assign variable
+// scoping, double-buffer phase resolution, sender-guard evaluation, and
+// parameter binding.
+#include <gtest/gtest.h>
+
+#include "codegen/program.h"
+#include "runtime/executor.h"
+#include "runtime/interpreter.h"
+#include "sunway/estimator.h"
+#include "support/error.h"
+
+namespace sw::rt {
+namespace {
+
+using codegen::AssignOp;
+using codegen::KernelProgram;
+using codegen::LoopOp;
+using codegen::Op;
+using codegen::RmaOp;
+using codegen::SpmBufferDecl;
+using codegen::SyncOp;
+using codegen::WaitOp;
+using sched::CopyKind;
+using sched::CopyStmt;
+using sched::Extent;
+using sched::SpmBufferRef;
+
+KernelProgram skeleton() {
+  KernelProgram program;
+  program.name = "test";
+  program.params = {"M", "N", "K"};
+  program.arrays = {codegen::ArrayInfo{"A", "", "M", "K"}};
+  program.buffers = {SpmBufferDecl{"A", 8, 8, 2, 0}};
+  codegen::planSpmLayout(program, 256 * 1024);
+  return program;
+}
+
+CopyStmt dmaGetA(const std::string& phaseVar, std::int64_t phaseOffset) {
+  CopyStmt stmt;
+  stmt.name = "getA";
+  stmt.kind = CopyKind::kDmaGet;
+  stmt.array = "A";
+  stmt.buffer = SpmBufferRef{"A", phaseVar.empty()
+                                      ? std::optional<std::string>()
+                                      : std::optional<std::string>(phaseVar),
+                             phaseOffset};
+  stmt.rowStart = poly::AffineExpr::dim("x") * 8;
+  stmt.colStart = poly::AffineExpr::constant(0);
+  stmt.rowsParam = "M";
+  stmt.colsParam = "K";
+  stmt.tileRows = 8;
+  stmt.tileCols = 8;
+  stmt.replySlot = "r";
+  return stmt;
+}
+
+TEST(Interpreter, LoopTripCountFollowsParams) {
+  KernelProgram program = skeleton();
+  codegen::OpList body;
+  body.push_back(Op{SyncOp{}});
+  program.body.push_back(Op{LoopOp{"x", Extent::constant(0),
+                                   Extent::paramDiv("M", 64),
+                                   std::move(body)}});
+  sunway::SymmetricCpeServices cpe(sunway::ArchConfig{});
+  runCpeProgram(program, {{"M", 256}, {"N", 64}, {"K", 64}}, ExecScalars{},
+                cpe);
+  EXPECT_EQ(cpe.counters().syncs, 4);
+}
+
+TEST(Interpreter, AssignBindsSingleValue) {
+  KernelProgram program = skeleton();
+  codegen::OpList body;
+  body.push_back(Op{codegen::DmaOp{dmaGetA("", 0)}});
+  body.push_back(Op{WaitOp{"r", false, true}});
+  program.body.push_back(Op{AssignOp{"x", Extent::paramDiv("M", 64).plus(-1),
+                                     std::move(body)}});
+  sunway::SymmetricCpeServices cpe(sunway::ArchConfig{});
+  // With M = 128, x = 1 -> rowStart = 8; must evaluate without error.
+  runCpeProgram(program, {{"M", 128}, {"N", 64}, {"K", 64}}, ExecScalars{},
+                cpe);
+  EXPECT_EQ(cpe.counters().dmaMessages, 1);
+}
+
+TEST(Interpreter, LoopVarOutOfScopeAfterLoop) {
+  KernelProgram program = skeleton();
+  program.body.push_back(Op{LoopOp{"x", Extent::constant(0),
+                                   Extent::constant(2), {}}});
+  // A DMA referencing x after the loop must fail: the variable is gone.
+  program.body.push_back(Op{codegen::DmaOp{dmaGetA("", 0)}});
+  sunway::SymmetricCpeServices cpe(sunway::ArchConfig{});
+  EXPECT_THROW(runCpeProgram(program, {{"M", 128}, {"N", 64}, {"K", 64}},
+                             ExecScalars{}, cpe),
+               sw::InternalError);
+}
+
+TEST(Interpreter, PhaseResolutionAlternatesBuffers) {
+  // Two DMA issues at x = 0 and x = 1 with phaseVar x must land in the
+  // two phases of the double buffer; we check via distinct SPM offsets by
+  // running on a functional-free backend that records nothing — instead
+  // verify indirectly through the estimator's engine serialisation: both
+  // issues target different offsets, which we can't observe here, so this
+  // test validates that phase arithmetic accepts offsets and negatives.
+  KernelProgram program = skeleton();
+  codegen::OpList body;
+  body.push_back(Op{codegen::DmaOp{dmaGetA("x", 1)}});
+  body.push_back(Op{WaitOp{"r", false, true}});
+  program.body.push_back(Op{LoopOp{"x", Extent::constant(0),
+                                   Extent::constant(4), std::move(body)}});
+  sunway::SymmetricCpeServices cpe(sunway::ArchConfig{});
+  runCpeProgram(program, {{"M", 256}, {"N", 64}, {"K", 64}}, ExecScalars{},
+                cpe);
+  EXPECT_EQ(cpe.counters().dmaMessages, 4);
+}
+
+TEST(Interpreter, SenderGuardSkipsNonSenders) {
+  KernelProgram program = skeleton();
+  program.buffers.push_back(SpmBufferDecl{"A_rma", 8, 8, 1, 0});
+  codegen::planSpmLayout(program, 256 * 1024);
+  CopyStmt bcast;
+  bcast.name = "bc";
+  bcast.kind = CopyKind::kRmaRowBcast;
+  bcast.array = "A";
+  bcast.buffer = SpmBufferRef{"A_rma", std::nullopt, 0};
+  bcast.rmaSource = SpmBufferRef{"A", std::nullopt, 0};
+  bcast.rowStart = poly::AffineExpr::constant(0);
+  bcast.colStart = poly::AffineExpr::constant(0);
+  bcast.tileRows = 8;
+  bcast.tileCols = 8;
+  bcast.senderGuard =
+      sched::SenderGuard{"Cid", poly::AffineExpr::constant(3)};
+  bcast.replySlot = "rr";
+  program.body.push_back(Op{RmaOp{bcast}});
+
+  // The estimator forces guards true, so the broadcast is accounted.
+  sunway::SymmetricCpeServices cpe(sunway::ArchConfig{});
+  runCpeProgram(program, {{"M", 64}, {"N", 64}, {"K", 64}}, ExecScalars{},
+                cpe);
+  EXPECT_EQ(cpe.counters().rmaBroadcastsSent, 1);
+}
+
+TEST(Executor, BindParamsMapsNames) {
+  codegen::KernelProgram program = skeleton();
+  auto params = bindParams(program, 512, 1024, 2048, 4);
+  EXPECT_EQ(params.at("M"), 512);
+  EXPECT_EQ(params.at("N"), 1024);
+  EXPECT_EQ(params.at("K"), 2048);
+  program.params.push_back("BATCH");
+  params = bindParams(program, 1, 2, 3, 4);
+  EXPECT_EQ(params.at("BATCH"), 4);
+  program.params.push_back("Q");
+  EXPECT_THROW(bindParams(program, 1, 2, 3, 4), sw::InternalError);
+}
+
+TEST(Executor, GemmFlopsConvention) {
+  EXPECT_DOUBLE_EQ(gemmFlops(64, 64, 32), 2.0 * 64 * 64 * 32);
+  EXPECT_DOUBLE_EQ(gemmFlops(64, 64, 32, 4), 8.0 * 64 * 64 * 32);
+}
+
+}  // namespace
+}  // namespace sw::rt

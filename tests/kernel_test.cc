@@ -1,0 +1,153 @@
+// Micro-kernel tests: the register-blocked "assembly" routine must agree
+// bit-for-bit with the naive nest and the reference oracle across tile
+// shapes (including the ragged edges smaller fused configurations hit),
+// and the element-wise tile ops must match their mathematical definitions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "kernel/microkernel.h"
+#include "kernel/reference.h"
+
+namespace sw::kernel {
+namespace {
+
+std::vector<double> randomTile(std::int64_t count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  std::vector<double> data(static_cast<std::size_t>(count));
+  for (double& v : data) v = dist(rng);
+  return data;
+}
+
+struct TileShape {
+  std::int64_t m, n, k;
+};
+
+class MicroKernelShapes : public ::testing::TestWithParam<TileShape> {};
+
+TEST_P(MicroKernelShapes, AsmEqualsNaive) {
+  const auto [m, n, k] = GetParam();
+  std::vector<double> a = randomTile(m * k, 1);
+  std::vector<double> b = randomTile(k * n, 2);
+  std::vector<double> c1 = randomTile(m * n, 3);
+  std::vector<double> c2 = c1;
+  dgemmMicroKernel(c1.data(), a.data(), b.data(), m, n, k);
+  dgemmNaiveKernel(c2.data(), a.data(), b.data(), m, n, k);
+  EXPECT_EQ(maxAbsDiff(c1.data(), c2.data(), m * n), 0.0)
+      << m << "x" << n << "x" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MicroKernelShapes,
+    ::testing::Values(TileShape{64, 64, 32},   // the vendor contract
+                      TileShape{64, 64, 1},    // degenerate depth
+                      TileShape{4, 8, 32},     // exactly one register block
+                      TileShape{5, 9, 7},      // ragged everything
+                      TileShape{1, 1, 32},     // scalar output
+                      TileShape{3, 64, 32},    // ragged rows only
+                      TileShape{64, 5, 32},    // ragged cols only
+                      TileShape{16, 16, 16}),
+    [](const ::testing::TestParamInfo<TileShape>& info) {
+      const auto& s = info.param;
+      return std::to_string(s.m) + "x" + std::to_string(s.n) + "x" +
+             std::to_string(s.k);
+    });
+
+TEST(MicroKernel, AccumulatesIntoC) {
+  // C must be accumulated, not overwritten.
+  std::vector<double> a(64 * 32, 1.0);
+  std::vector<double> b(32 * 64, 1.0);
+  std::vector<double> c(64 * 64, 5.0);
+  dgemmMicroKernel(c.data(), a.data(), b.data(), 64, 64, 32);
+  for (double v : c) EXPECT_EQ(v, 5.0 + 32.0);
+}
+
+TEST(MicroKernel, ZeroDepthIsIdentity) {
+  std::vector<double> a, b;
+  std::vector<double> c(16, 2.5);
+  dgemmMicroKernel(c.data(), a.data(), b.data(), 4, 4, 0);
+  for (double v : c) EXPECT_EQ(v, 2.5);
+}
+
+TEST(Reference, BlockedAccumulationMatchesMicroKernelChain) {
+  // Reference with kBlock = 32 must equal repeated micro-kernel calls over
+  // k slices — the exact structure the generated code executes.
+  const std::int64_t m = 64, n = 64, k = 128;
+  std::vector<double> a = randomTile(m * k, 11);
+  std::vector<double> b = randomTile(k * n, 12);
+  std::vector<double> c = randomTile(m * n, 13);
+  std::vector<double> expected = c;
+
+  // Chain of 4 micro-kernel calls over packed slices.
+  for (std::int64_t kb = 0; kb < k; kb += 32) {
+    std::vector<double> aSlice(static_cast<std::size_t>(m * 32));
+    std::vector<double> bSlice(static_cast<std::size_t>(32 * n));
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t p = 0; p < 32; ++p)
+        aSlice[static_cast<std::size_t>(i * 32 + p)] = a[i * k + kb + p];
+    for (std::int64_t p = 0; p < 32; ++p)
+      for (std::int64_t j = 0; j < n; ++j)
+        bSlice[static_cast<std::size_t>(p * n + j)] = b[(kb + p) * n + j];
+    dgemmMicroKernel(c.data(), aSlice.data(), bSlice.data(), m, n, 32);
+  }
+  referenceGemm(expected.data(), a.data(), b.data(), m, n, k, 1.0, 1.0);
+  EXPECT_EQ(maxAbsDiff(c.data(), expected.data(), m * n), 0.0);
+}
+
+TEST(Reference, AlphaBetaSemantics) {
+  const std::int64_t m = 8, n = 8, k = 8;
+  std::vector<double> a(m * k, 1.0);
+  std::vector<double> b(k * n, 2.0);
+  std::vector<double> c(m * n, 10.0);
+  referenceGemm(c.data(), a.data(), b.data(), m, n, k, 0.5, 0.25);
+  // 0.5 * (1*2*8) + 0.25 * 10 = 8 + 2.5.
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 10.5);
+}
+
+TEST(Reference, BetaZeroIgnoresInitialC) {
+  const std::int64_t m = 4, n = 4, k = 4;
+  std::vector<double> a(m * k, 1.0);
+  std::vector<double> b(k * n, 1.0);
+  std::vector<double> c(m * n, std::nan(""));
+  // NaN * 0 is NaN, so DGEMM semantics with beta = 0 conventionally still
+  // multiply; our reference follows the multiply convention (the generated
+  // code does too), so seed with garbage-but-finite instead.
+  std::fill(c.begin(), c.end(), 123.0);
+  referenceGemm(c.data(), a.data(), b.data(), m, n, k, 1.0, 0.0);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(Elementwise, Quantize) {
+  std::vector<double> tile{0.0, 0.03, 0.99, -0.51, 2.0};
+  tileQuantize(tile.data(), static_cast<std::int64_t>(tile.size()));
+  EXPECT_DOUBLE_EQ(tile[0], 0.0);
+  EXPECT_DOUBLE_EQ(tile[1], 0.0625 * std::nearbyint(0.03 * 16.0) / 1.0);
+  EXPECT_DOUBLE_EQ(tile[2], 1.0);
+  EXPECT_DOUBLE_EQ(tile[3], -0.5);
+  EXPECT_DOUBLE_EQ(tile[4], 2.0);
+}
+
+TEST(Elementwise, QuantizeIsIdempotent) {
+  std::vector<double> tile = randomTile(256, 77);
+  std::vector<double> once = tile;
+  tileQuantize(once.data(), 256);
+  std::vector<double> twice = once;
+  tileQuantize(twice.data(), 256);
+  EXPECT_EQ(maxAbsDiff(once.data(), twice.data(), 256), 0.0);
+}
+
+TEST(Elementwise, ReluAndScale) {
+  std::vector<double> tile{-1.0, 0.0, 2.0};
+  tileRelu(tile.data(), 3);
+  EXPECT_EQ(tile[0], 0.0);
+  EXPECT_EQ(tile[1], 0.0);
+  EXPECT_EQ(tile[2], 2.0);
+  tileScale(tile.data(), 3, -2.0);
+  EXPECT_EQ(tile[2], -4.0);
+}
+
+}  // namespace
+}  // namespace sw::kernel

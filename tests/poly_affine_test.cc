@@ -1,0 +1,134 @@
+// Unit tests for AffineExpr algebra: construction, simplification,
+// substitution, evaluation, floordiv composition and printing.
+#include "poly/affine.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace sw::poly {
+namespace {
+
+AffineExpr d(const std::string& name) { return AffineExpr::dim(name); }
+AffineExpr c(std::int64_t v) { return AffineExpr::constant(v); }
+
+TEST(AffineExpr, ConstantArithmetic) {
+  AffineExpr e = c(3) + c(4);
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_EQ(e.constantTerm(), 7);
+  EXPECT_EQ((c(3) * 5).constantTerm(), 15);
+  EXPECT_EQ((c(3) - c(10)).constantTerm(), -7);
+}
+
+TEST(AffineExpr, DimCoefficientsMerge) {
+  AffineExpr e = d("i") + d("i") + d("j") * 2 - d("j");
+  EXPECT_EQ(e.coefficient("i"), 2);
+  EXPECT_EQ(e.coefficient("j"), 1);
+  EXPECT_EQ(e.coefficient("k"), 0);
+}
+
+TEST(AffineExpr, ZeroCoefficientsAreDropped) {
+  AffineExpr e = d("i") - d("i");
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_EQ(e.constantTerm(), 0);
+}
+
+TEST(AffineExpr, AsSingleDim) {
+  EXPECT_EQ(d("i").asSingleDim(), "i");
+  EXPECT_FALSE((d("i") * 2).asSingleDim().has_value());
+  EXPECT_FALSE((d("i") + c(1)).asSingleDim().has_value());
+  EXPECT_FALSE((d("i") + d("j")).asSingleDim().has_value());
+}
+
+TEST(AffineExpr, FloorDivOfConstantFolds) {
+  AffineExpr e = AffineExpr::floorDiv(c(100), 32);
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_EQ(e.constantTerm(), 3);
+  AffineExpr neg = AffineExpr::floorDiv(c(-1), 32);
+  EXPECT_EQ(neg.constantTerm(), -1);  // floor semantics, not truncation
+}
+
+TEST(AffineExpr, FloorDivByOneIsIdentity) {
+  AffineExpr e = AffineExpr::floorDiv(d("i"), 1);
+  EXPECT_EQ(e.asSingleDim(), "i");
+}
+
+TEST(AffineExpr, FloorDivTermsMergeWhenIdentical) {
+  AffineExpr a = AffineExpr::floorDiv(d("i"), 64);
+  AffineExpr e = a + a;
+  ASSERT_EQ(e.floorDivTerms().size(), 1u);
+  EXPECT_EQ(e.floorDivTerms()[0].coeff, 2);
+  AffineExpr z = a - a;
+  EXPECT_TRUE(z.isConstant());
+}
+
+TEST(AffineExpr, EvaluateTiledCoordinates) {
+  // The paper's within-tile coordinate: i - 64*floor(i/64).
+  AffineExpr point = tilePointExpr(d("i"), 64);
+  std::map<std::string, std::int64_t> env{{"i", 200}};
+  EXPECT_EQ(point.evaluate(env), 200 - 64 * 3);
+  env["i"] = 63;
+  EXPECT_EQ(point.evaluate(env), 63);
+  env["i"] = 64;
+  EXPECT_EQ(point.evaluate(env), 0);
+}
+
+TEST(AffineExpr, EvaluateNestedFloorDiv) {
+  // Strip-mined coordinate from Fig.6: floor(k/32) - 8*floor(k/256).
+  AffineExpr e = AffineExpr::floorDiv(d("k"), 32) -
+                 AffineExpr::floorDiv(d("k"), 256) * 8;
+  for (std::int64_t k : {0, 31, 32, 255, 256, 300, 511, 512}) {
+    std::map<std::string, std::int64_t> env{{"k", k}};
+    EXPECT_EQ(e.evaluate(env), k / 32 - 8 * (k / 256)) << "k=" << k;
+  }
+}
+
+TEST(AffineExpr, SubstituteLinear) {
+  AffineExpr e = d("i") * 2 + d("j") + c(5);
+  AffineExpr s = e.substitute("i", d("x") + c(1));
+  std::map<std::string, std::int64_t> env{{"x", 10}, {"j", 3}};
+  EXPECT_EQ(s.evaluate(env), 2 * 11 + 3 + 5);
+}
+
+TEST(AffineExpr, SubstituteInsideFloorDiv) {
+  AffineExpr e = AffineExpr::floorDiv(d("i"), 64);
+  AffineExpr s = e.substitute("i", d("x") * 64 + d("r"));
+  std::map<std::string, std::int64_t> env{{"x", 5}, {"r", 13}};
+  EXPECT_EQ(s.evaluate(env), 5);
+}
+
+TEST(AffineExpr, EvaluateMissingDimThrows) {
+  AffineExpr e = d("i");
+  std::map<std::string, std::int64_t> env;
+  EXPECT_THROW((void)e.evaluate(env), sw::InternalError);
+}
+
+TEST(AffineExpr, CollectDimsIncludesDivNumerators) {
+  AffineExpr e = d("i") + AffineExpr::floorDiv(d("k") + d("j"), 32);
+  auto dims = e.collectDims();
+  EXPECT_EQ(dims.size(), 3u);
+}
+
+TEST(AffineExpr, ToStringRoundtripReadable) {
+  AffineExpr e = d("i") - AffineExpr::floorDiv(d("i"), 64) * 64;
+  EXPECT_EQ(e.toString(), "i - 64*floor((i)/64)");
+}
+
+TEST(MathUtil, FloorCeilDivAndMod) {
+  EXPECT_EQ(sw::floorDiv(7, 2), 3);
+  EXPECT_EQ(sw::floorDiv(-7, 2), -4);
+  EXPECT_EQ(sw::ceilDiv(7, 2), 4);
+  EXPECT_EQ(sw::ceilDiv(-7, 2), -3);
+  EXPECT_EQ(sw::floorMod(-7, 2), 1);
+  EXPECT_EQ(sw::roundUp(500, 512), 512);
+  EXPECT_EQ(sw::roundUp(512, 512), 512);
+  EXPECT_TRUE(sw::isPowerOfTwo(1024));
+  EXPECT_FALSE(sw::isPowerOfTwo(1536));
+  EXPECT_FALSE(sw::isPowerOfTwo(0));
+  EXPECT_EQ(sw::gcd(12, 18), 6);
+  EXPECT_EQ(sw::lcm(4, 6), 12);
+}
+
+}  // namespace
+}  // namespace sw::poly

@@ -1,0 +1,238 @@
+// Dependence-analysis tests: the GEMM nest must be proven (i, j)-parallel,
+// k-sequential and fully tilable, exactly the attributes isl attaches in
+// §2.2 of the paper.  Additional nests validate the analysis on non-GEMM
+// shapes (skewed accesses, anti-dependences, stencils).
+#include "poly/dependence.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "poly/linear_system.h"
+
+namespace sw::poly {
+namespace {
+
+AffineExpr d(const std::string& name) { return AffineExpr::dim(name); }
+
+AccessRelation access(const std::string& array,
+                      const std::vector<std::string>& dims,
+                      std::vector<AffineExpr> subs, bool write) {
+  return AccessRelation{array, AffineMap(dims, std::move(subs)), write};
+}
+
+StatementInfo gemmStatement() {
+  // S1(i,j,k): C[i][j] = C[i][j] + A[i][k] * B[k][j]
+  std::vector<std::string> dims{"i", "j", "k"};
+  IntegerSet domain("S1", dims);
+  domain.addRange("i", d("M"));
+  domain.addRange("j", d("N"));
+  domain.addRange("k", d("K"));
+  StatementInfo stmt{"S1", domain, {}};
+  stmt.accesses.push_back(access("C", dims, {d("i"), d("j")}, true));
+  stmt.accesses.push_back(access("C", dims, {d("i"), d("j")}, false));
+  stmt.accesses.push_back(access("A", dims, {d("i"), d("k")}, false));
+  stmt.accesses.push_back(access("B", dims, {d("k"), d("j")}, false));
+  return stmt;
+}
+
+TEST(LinearSystem, FeasibleBox) {
+  LinearSystem sys(1);
+  sys.add({1}, 0, LinearConstraint::Kind::kGe);    // x >= 0
+  sys.add({-1}, 10, LinearConstraint::Kind::kGe);  // x <= 10
+  EXPECT_TRUE(sys.isFeasible());
+}
+
+TEST(LinearSystem, InfeasibleContradiction) {
+  LinearSystem sys(1);
+  sys.add({1}, -5, LinearConstraint::Kind::kGe);  // x >= 5
+  sys.add({-1}, 3, LinearConstraint::Kind::kGe);  // x <= 3
+  EXPECT_FALSE(sys.isFeasible());
+}
+
+TEST(LinearSystem, EqualityPropagates) {
+  LinearSystem sys(2);
+  sys.add({1, -1}, 0, LinearConstraint::Kind::kEq);  // x == y
+  sys.add({1, 0}, -4, LinearConstraint::Kind::kGe);  // x >= 4
+  sys.add({0, -1}, 2, LinearConstraint::Kind::kGe);  // y <= 2
+  EXPECT_FALSE(sys.isFeasible());
+}
+
+TEST(LinearSystem, TwoVarChain) {
+  LinearSystem sys(2);
+  sys.add({1, -2}, 0, LinearConstraint::Kind::kGe);   // x >= 2y
+  sys.add({-1, 1}, -1, LinearConstraint::Kind::kGe);  // y >= x + 1
+  sys.add({0, 1}, 0, LinearConstraint::Kind::kGe);    // y >= 0
+  // x >= 2y and y >= x+1 => y >= 2y + 1 => y <= -1, contradiction with y>=0.
+  EXPECT_FALSE(sys.isFeasible());
+}
+
+TEST(LinearSystem, RandomBoxesAreFeasible) {
+  // Property: any box 0 <= x_i <= u_i with u_i >= 0 is feasible, and
+  // adding x_0 >= u_0 + 1 makes it infeasible.
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<std::int64_t> bound(0, 50);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 4);
+    LinearSystem sys(n);
+    std::vector<std::int64_t> uppers;
+    for (std::size_t v = 0; v < n; ++v) {
+      std::vector<std::int64_t> lo(n, 0), hi(n, 0);
+      lo[v] = 1;
+      hi[v] = -1;
+      const std::int64_t u = bound(rng);
+      uppers.push_back(u);
+      sys.add(lo, 0, LinearConstraint::Kind::kGe);   // x_v >= 0
+      sys.add(hi, u, LinearConstraint::Kind::kGe);   // x_v <= u
+    }
+    EXPECT_TRUE(sys.isFeasible()) << "trial " << trial;
+    std::vector<std::int64_t> push(n, 0);
+    push[0] = 1;
+    sys.add(push, -(uppers[0] + 1), LinearConstraint::Kind::kGe);
+    EXPECT_FALSE(sys.isFeasible()) << "trial " << trial;
+  }
+}
+
+TEST(LinearSystem, RedundantConstraintsDoNotConfuse) {
+  LinearSystem sys(2);
+  for (int i = 0; i < 10; ++i) {
+    sys.add({1, 0}, i, LinearConstraint::Kind::kGe);  // x >= -i (redundant)
+    sys.add({0, 1}, i, LinearConstraint::Kind::kGe);
+  }
+  sys.add({1, 1}, -10, LinearConstraint::Kind::kGe);  // x + y >= 10
+  sys.add({-1, -1}, 20, LinearConstraint::Kind::kGe);  // x + y <= 20
+  EXPECT_TRUE(sys.isFeasible());
+  sys.add({-1, -1}, 5, LinearConstraint::Kind::kGe);  // x + y <= 5
+  EXPECT_FALSE(sys.isFeasible());
+}
+
+TEST(LinearSystem, EqualityChainPropagation) {
+  // x0 == x1 == x2 == x3, x0 >= 7, x3 <= 6: infeasible.
+  LinearSystem sys(4);
+  sys.add({1, -1, 0, 0}, 0, LinearConstraint::Kind::kEq);
+  sys.add({0, 1, -1, 0}, 0, LinearConstraint::Kind::kEq);
+  sys.add({0, 0, 1, -1}, 0, LinearConstraint::Kind::kEq);
+  sys.add({1, 0, 0, 0}, -7, LinearConstraint::Kind::kGe);
+  sys.add({0, 0, 0, -1}, 6, LinearConstraint::Kind::kGe);
+  EXPECT_FALSE(sys.isFeasible());
+}
+
+TEST(LinearSystem, UnboundedSystemIsFeasible) {
+  LinearSystem sys(2);
+  sys.add({1, -1}, 0, LinearConstraint::Kind::kGe);  // x >= y, nothing else
+  EXPECT_TRUE(sys.isFeasible());
+}
+
+TEST(Dependence, GemmOuterLoopsParallel) {
+  DependenceAnalysis analysis({gemmStatement()});
+  EXPECT_TRUE(analysis.isLoopParallel("S1", 0));  // i
+  EXPECT_TRUE(analysis.isLoopParallel("S1", 1));  // j
+}
+
+TEST(Dependence, GemmReductionLoopSequential) {
+  DependenceAnalysis analysis({gemmStatement()});
+  EXPECT_FALSE(analysis.isLoopParallel("S1", 2));  // k carries C reduction
+}
+
+TEST(Dependence, GemmFullyTilable) {
+  DependenceAnalysis analysis({gemmStatement()});
+  EXPECT_TRUE(analysis.isBandPermutable("S1", 0, 3));
+}
+
+TEST(Dependence, GemmWitnessesAreOnC) {
+  DependenceAnalysis analysis({gemmStatement()});
+  auto deps = analysis.selfDependences("S1");
+  ASSERT_FALSE(deps.empty());
+  for (const Dependence& dep : deps) {
+    EXPECT_EQ(dep.arrayName, "C");
+    EXPECT_EQ(dep.level, 2u);
+  }
+}
+
+TEST(Dependence, BatchedGemmBatchLoopParallel) {
+  // S1(b,i,j,k): C[b][i][j] += A[b][i][k] * B[b][k][j]
+  std::vector<std::string> dims{"b", "i", "j", "k"};
+  IntegerSet domain("S1", dims);
+  domain.addRange("b", d("B0"));
+  domain.addRange("i", d("M"));
+  domain.addRange("j", d("N"));
+  domain.addRange("k", d("K"));
+  StatementInfo stmt{"S1", domain, {}};
+  stmt.accesses.push_back(access("C", dims, {d("b"), d("i"), d("j")}, true));
+  stmt.accesses.push_back(access("C", dims, {d("b"), d("i"), d("j")}, false));
+  stmt.accesses.push_back(access("A", dims, {d("b"), d("i"), d("k")}, false));
+  stmt.accesses.push_back(access("B", dims, {d("b"), d("k"), d("j")}, false));
+  DependenceAnalysis analysis({stmt});
+  EXPECT_TRUE(analysis.isLoopParallel("S1", 0));
+  EXPECT_TRUE(analysis.isLoopParallel("S1", 1));
+  EXPECT_TRUE(analysis.isLoopParallel("S1", 2));
+  EXPECT_FALSE(analysis.isLoopParallel("S1", 3));
+  EXPECT_TRUE(analysis.isBandPermutable("S1", 0, 4));
+}
+
+TEST(Dependence, LoopCarriedFlowBlocksParallelism) {
+  // S(i): A[i] = A[i-1]  -- flow dependence carried at level 0.
+  std::vector<std::string> dims{"i"};
+  IntegerSet domain("S", dims);
+  domain.addGe(d("i") - AffineExpr::constant(1));  // i >= 1
+  domain.addGe(d("M") - d("i") - AffineExpr::constant(1));
+  StatementInfo stmt{"S", domain, {}};
+  stmt.accesses.push_back(access("A", dims, {d("i")}, true));
+  stmt.accesses.push_back(
+      access("A", dims, {d("i") - AffineExpr::constant(1)}, false));
+  DependenceAnalysis analysis({stmt});
+  EXPECT_FALSE(analysis.isLoopParallel("S", 0));
+}
+
+TEST(Dependence, IndependentColumnsStayParallel) {
+  // S(i,j): A[j] accumulation: j-carried only, i parallel.
+  std::vector<std::string> dims{"i", "j"};
+  IntegerSet domain("S", dims);
+  domain.addRange("i", d("M"));
+  domain.addRange("j", d("N"));
+  StatementInfo stmt{"S", domain, {}};
+  stmt.accesses.push_back(access("A", dims, {d("i")}, true));
+  stmt.accesses.push_back(access("A", dims, {d("i")}, false));
+  DependenceAnalysis analysis({stmt});
+  EXPECT_TRUE(analysis.isLoopParallel("S", 0));
+  EXPECT_FALSE(analysis.isLoopParallel("S", 1));
+}
+
+TEST(Dependence, SkewedStencilNotPermutable) {
+  // S(t,i): A[i] = A[i-1] + A[i+1] (classic stencil written in-place):
+  // has a negative-distance component, so the 2D band is not permutable.
+  std::vector<std::string> dims{"t", "i"};
+  IntegerSet domain("S", dims);
+  domain.addRange("t", d("T"));
+  domain.addGe(d("i") - AffineExpr::constant(1));
+  domain.addGe(d("M") - d("i") - AffineExpr::constant(2));
+  StatementInfo stmt{"S", domain, {}};
+  stmt.accesses.push_back(access("A", dims, {d("i")}, true));
+  stmt.accesses.push_back(
+      access("A", dims, {d("i") - AffineExpr::constant(1)}, false));
+  stmt.accesses.push_back(
+      access("A", dims, {d("i") + AffineExpr::constant(1)}, false));
+  DependenceAnalysis analysis({stmt});
+  EXPECT_FALSE(analysis.isLoopParallel("S", 0));
+  EXPECT_FALSE(analysis.isBandPermutable("S", 0, 2));
+}
+
+TEST(Dependence, ReadOnlyArraysProduceNoDependence) {
+  // S(i,j): C[i][j] = A[i][j] + B[i][j]: fully parallel.
+  std::vector<std::string> dims{"i", "j"};
+  IntegerSet domain("S", dims);
+  domain.addRange("i", d("M"));
+  domain.addRange("j", d("N"));
+  StatementInfo stmt{"S", domain, {}};
+  stmt.accesses.push_back(access("C", dims, {d("i"), d("j")}, true));
+  stmt.accesses.push_back(access("A", dims, {d("i"), d("j")}, false));
+  stmt.accesses.push_back(access("B", dims, {d("i"), d("j")}, false));
+  DependenceAnalysis analysis({stmt});
+  EXPECT_TRUE(analysis.isLoopParallel("S", 0));
+  EXPECT_TRUE(analysis.isLoopParallel("S", 1));
+  EXPECT_TRUE(analysis.isBandPermutable("S", 0, 2));
+  EXPECT_TRUE(analysis.selfDependences("S").empty());
+}
+
+}  // namespace
+}  // namespace sw::poly

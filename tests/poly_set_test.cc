@@ -1,0 +1,87 @@
+// Tests for integer sets, affine maps and access relations — the
+// polyhedral vocabulary of §2.2.
+#include <gtest/gtest.h>
+
+#include "poly/set.h"
+
+namespace sw::poly {
+namespace {
+
+AffineExpr d(const std::string& name) { return AffineExpr::dim(name); }
+
+TEST(IntegerSet, ContainsRespectsRanges) {
+  IntegerSet set("S", {"i", "j"});
+  set.addRange("i", d("M"));
+  set.addRange("j", d("N"));
+  std::map<std::string, std::int64_t> point{{"i", 0}, {"j", 9}, {"M", 10},
+                                            {"N", 10}};
+  EXPECT_TRUE(set.contains(point));
+  point["i"] = 10;
+  EXPECT_FALSE(set.contains(point));
+  point["i"] = -1;
+  EXPECT_FALSE(set.contains(point));
+}
+
+TEST(IntegerSet, ContainsRespectsEqualities) {
+  IntegerSet set("S", {"i", "j"});
+  set.addEq(d("i") - d("j"));  // i == j
+  EXPECT_TRUE(set.contains({{"i", 4}, {"j", 4}}));
+  EXPECT_FALSE(set.contains({{"i", 4}, {"j", 5}}));
+}
+
+TEST(IntegerSet, SimpleBoundsExtraction) {
+  IntegerSet set("S", {"i"});
+  set.addRange("i", d("M"));
+  auto bounds = set.simpleBounds("i");
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->lower.toString(), "0");
+  EXPECT_EQ(bounds->upper.toString(), "M - 1");
+}
+
+TEST(IntegerSet, SimpleBoundsRejectsCoupledDims) {
+  IntegerSet set("S", {"i", "j"});
+  set.addGe(d("i"));
+  set.addGe(d("j") - d("i"));  // i <= j: coupled
+  set.addGe(d("M") - d("i") - AffineExpr::constant(1));
+  EXPECT_FALSE(set.simpleBounds("i").has_value());
+}
+
+TEST(IntegerSet, SimpleBoundsRejectsScaledDim) {
+  IntegerSet set("S", {"i"});
+  set.addGe(d("i") * 2);  // 2i >= 0
+  set.addGe(d("M") - d("i") - AffineExpr::constant(1));
+  EXPECT_FALSE(set.simpleBounds("i").has_value());
+}
+
+TEST(IntegerSet, ToStringIsReadable) {
+  IntegerSet set("S1", {"i"});
+  set.addRange("i", d("M"));
+  const std::string s = set.toString();
+  EXPECT_NE(s.find("S1(i)"), std::string::npos);
+  EXPECT_NE(s.find(">= 0"), std::string::npos);
+}
+
+TEST(AffineMap, IdentityAndEvaluate) {
+  AffineMap map = AffineMap::identity({"i", "j"});
+  auto values = map.evaluate({{"i", 3}, {"j", 7}});
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], 3);
+  EXPECT_EQ(values[1], 7);
+}
+
+TEST(AffineMap, GeneralAffineOutputs) {
+  AffineMap map({"i", "k"}, {d("i") * 64 + d("k"), d("k") - d("i")});
+  auto values = map.evaluate({{"i", 2}, {"k", 5}});
+  EXPECT_EQ(values[0], 133);
+  EXPECT_EQ(values[1], 3);
+}
+
+TEST(AccessRelation, ToString) {
+  AccessRelation access{"A", AffineMap({"i", "k"}, {d("i"), d("k")}), false};
+  EXPECT_EQ(access.toString(), "read A[i][k]");
+  access.isWrite = true;
+  EXPECT_EQ(access.toString(), "write A[i][k]");
+}
+
+}  // namespace
+}  // namespace sw::poly

@@ -1,0 +1,176 @@
+// Schedule-tree construction and transformation tests, mirroring the
+// paper's Fig.2b (initial tree), Fig.4a (tiling), Fig.6 (strip-mining) and
+// the batch isolation of Fig.3.
+#include <gtest/gtest.h>
+
+#include "poly/set.h"
+#include "schedule/transforms.h"
+#include "schedule/tree.h"
+#include "support/error.h"
+
+namespace sw::sched {
+namespace {
+
+poly::AffineExpr d(const std::string& name) {
+  return poly::AffineExpr::dim(name);
+}
+
+poly::IntegerSet gemmDomain() {
+  poly::IntegerSet domain("S1", {"i", "j", "k"});
+  domain.addRange("i", d("M"));
+  domain.addRange("j", d("N"));
+  domain.addRange("k", d("K"));
+  return domain;
+}
+
+ScheduleTree initialGemmTree() {
+  return buildInitialTree({gemmDomain()}, {true, true, false}, true);
+}
+
+TEST(Extent, EvaluateParamDiv) {
+  Extent e = Extent::paramDiv("K", 256);
+  EXPECT_EQ(e.evaluate({{"K", 1024}}), 4);
+  EXPECT_EQ(e.plus(-1).evaluate({{"K", 1024}}), 3);
+  EXPECT_THROW((void)e.evaluate({{"K", 1000}}), sw::InternalError);  // not padded
+  EXPECT_THROW((void)e.evaluate({{"M", 512}}), sw::InternalError);   // unbound
+}
+
+TEST(Extent, ToString) {
+  EXPECT_EQ(Extent::constant(8).toString(), "8");
+  EXPECT_EQ(Extent::paramDiv("M", 512).toString(), "M/512");
+  EXPECT_EQ(Extent::paramDiv("K", 256).plus(-1).toString(), "K/256 - 1");
+}
+
+TEST(ScheduleTree, InitialTreeShape) {
+  ScheduleTree tree = initialGemmTree();
+  tree.validate();
+  const DomainNode& root = tree.root();
+  ASSERT_EQ(root.domains.size(), 1u);
+  const auto& band = nodeCast<BandNode>(root.onlyChild());
+  ASSERT_EQ(band.members.size(), 3u);
+  EXPECT_TRUE(band.permutable);
+  EXPECT_TRUE(band.members[0].coincident);
+  EXPECT_TRUE(band.members[1].coincident);
+  EXPECT_FALSE(band.members[2].coincident);
+  EXPECT_EQ(band.members[0].extent.toString(), "M");
+  EXPECT_EQ(band.onlyChild().kind(), NodeKind::kLeaf);
+}
+
+TEST(ScheduleTree, TileProducesOuterAndInnerBands) {
+  ScheduleTree tree = initialGemmTree();
+  auto& band = nodeCast<BandNode>(tree.root().onlyChild());
+  tileBand(tree, band, {64, 64, 32}, {"io", "jo", "ko"}, {"ii", "ji", "ki"});
+  tree.validate();
+
+  const auto& outer = nodeCast<BandNode>(tree.root().onlyChild());
+  ASSERT_EQ(outer.members.size(), 3u);
+  EXPECT_EQ(outer.members[0].var, "io");
+  EXPECT_EQ(outer.members[0].extent.toString(), "M/64");
+  EXPECT_EQ(outer.members[2].extent.toString(), "K/32");
+
+  const auto& inner = nodeCast<BandNode>(outer.onlyChild());
+  ASSERT_EQ(inner.members.size(), 3u);
+  EXPECT_EQ(inner.members[0].extent.toString(), "64");
+  EXPECT_EQ(inner.members[2].extent.toString(), "32");
+
+  // Schedule expressions: outer = floor(i/64), inner = i - 64*floor(i/64).
+  std::map<std::string, std::int64_t> env{{"i", 200}, {"j", 0}, {"k", 0}};
+  EXPECT_EQ(outer.members[0].exprs[0].second.evaluate(env), 3);
+  EXPECT_EQ(inner.members[0].exprs[0].second.evaluate(env), 200 - 192);
+}
+
+TEST(ScheduleTree, StripMineComposesFloorDivs) {
+  ScheduleTree tree = initialGemmTree();
+  auto& band = nodeCast<BandNode>(tree.root().onlyChild());
+  tileBand(tree, band, {64, 64, 32}, {"io", "jo", "ko"}, {"ii", "ji", "ki"});
+  auto& outer = nodeCast<BandNode>(tree.root().onlyChild());
+  auto& koBand = splitBand(tree, outer, 2);  // isolate ko
+  stripMineMember(tree, koBand, 0, 8, "koo", "koi");
+  tree.validate();
+
+  // koBand is now the outer strip: koo with extent K/256.
+  EXPECT_EQ(koBand.members[0].var, "koo");
+  EXPECT_EQ(koBand.members[0].extent.toString(), "K/256");
+  const auto& residue = nodeCast<BandNode>(koBand.onlyChild());
+  EXPECT_EQ(residue.members[0].var, "koi");
+  EXPECT_EQ(residue.members[0].extent.toString(), "8");
+
+  // Fig.6 semantics: koo = floor(k/256), koi = floor(k/32) - 8*floor(k/256).
+  for (std::int64_t k : {0, 31, 32, 255, 256, 300, 511}) {
+    std::map<std::string, std::int64_t> env{{"i", 0}, {"j", 0}, {"k", k}};
+    EXPECT_EQ(koBand.members[0].exprs[0].second.evaluate(env), k / 256);
+    EXPECT_EQ(residue.members[0].exprs[0].second.evaluate(env),
+              k / 32 - 8 * (k / 256));
+  }
+}
+
+TEST(ScheduleTree, SplitBandIsolatesPrefix) {
+  ScheduleTree tree = initialGemmTree();
+  auto& band = nodeCast<BandNode>(tree.root().onlyChild());
+  BandNode& inner = splitBand(tree, band, 2);
+  tree.validate();
+  EXPECT_EQ(band.members.size(), 2u);
+  ASSERT_EQ(inner.members.size(), 1u);
+  EXPECT_EQ(inner.members[0].var, "k");
+}
+
+TEST(ScheduleTree, BindMemberRecordsMeshCoordinate) {
+  ScheduleTree tree = initialGemmTree();
+  auto& band = nodeCast<BandNode>(tree.root().onlyChild());
+  bindMember(band, 0, "Rid");
+  EXPECT_EQ(band.members[0].binding, "Rid");
+}
+
+TEST(ScheduleTree, ValidateRejectsDuplicateVariables) {
+  ScheduleTree tree = initialGemmTree();
+  auto& band = nodeCast<BandNode>(tree.root().onlyChild());
+  auto extra = std::make_unique<BandNode>();
+  BandMember m;
+  m.var = "i";  // clashes with the live loop variable
+  m.exprs.emplace_back("S1", d("i"));
+  m.extent = Extent::constant(4);
+  extra->members.push_back(std::move(m));
+  extra->permutable = true;
+  wrapOnlyChild(band, std::move(extra));
+  EXPECT_THROW(tree.validate(), sw::InternalError);
+}
+
+TEST(ScheduleTree, ValidateRejectsUnknownCopyReference) {
+  ScheduleTree tree = initialGemmTree();
+  auto& band = nodeCast<BandNode>(tree.root().onlyChild());
+  auto seq = std::make_unique<SequenceNode>();
+  seq->appendChild(makeFilter({copyElement("getA")}, std::nullopt,
+                              std::make_unique<LeafNode>()));
+  wrapOnlyChild(band, std::move(seq));
+  EXPECT_THROW(tree.validate(), sw::InternalError);
+}
+
+TEST(ScheduleTree, BatchIsolationMatchesFig3) {
+  poly::IntegerSet domain("S1", {"b", "i", "j", "k"});
+  domain.addRange("b", d("B"));
+  domain.addRange("i", d("M"));
+  domain.addRange("j", d("N"));
+  domain.addRange("k", d("K"));
+  ScheduleTree tree =
+      buildInitialTree({domain}, {true, true, true, false}, true);
+  auto& band = nodeCast<BandNode>(tree.root().onlyChild());
+  BandNode& gemmBand = splitBand(tree, band, 1);
+  tree.validate();
+  EXPECT_EQ(band.members.size(), 1u);
+  EXPECT_EQ(band.members[0].var, "b");
+  EXPECT_EQ(gemmBand.members.size(), 3u);
+}
+
+TEST(ScheduleTree, CloneIsDeepAndPrintable) {
+  ScheduleTree tree = initialGemmTree();
+  auto& band = nodeCast<BandNode>(tree.root().onlyChild());
+  tileBand(tree, band, {64, 64, 32}, {"io", "jo", "ko"}, {"ii", "ji", "ki"});
+  ScheduleTree copy = tree.clone();
+  copy.validate();
+  EXPECT_EQ(copy.toString(), tree.toString());
+  EXPECT_NE(copy.toString().find("BAND"), std::string::npos);
+  EXPECT_NE(copy.toString().find("DOMAIN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sw::sched

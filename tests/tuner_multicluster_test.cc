@@ -1,0 +1,123 @@
+// Tests of the tile auto-tuner (validating the §3.1 analytical model) and
+// the multi-cluster decomposition (the §9 future-work layer).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/multi_cluster.h"
+#include "core/tuner.h"
+#include "kernel/reference.h"
+
+namespace sw::core {
+namespace {
+
+TEST(Tuner, LandsOnTheAnalyticalChoice) {
+  // §3.1: the analytical model adopts the micro-kernel shape; the
+  // exhaustive search must agree.
+  TuneResult result = tuneTileSizes(CodegenOptions{}, sunway::ArchConfig{},
+                                    GemmProblem{4096, 4096, 4096});
+  EXPECT_EQ(result.best().label(), "64x64x32");
+  EXPECT_TRUE(result.best().hasAsmKernel);
+  EXPECT_EQ(result.candidates.size(), 12u);
+  EXPECT_GT(result.searchSeconds, 0.0);
+}
+
+TEST(Tuner, FlagsSpmOverflows) {
+  TuneResult result = tuneTileSizes(CodegenOptions{}, sunway::ArchConfig{},
+                                    GemmProblem{2048, 2048, 2048});
+  int infeasible = 0;
+  for (const TuneCandidate& candidate : result.candidates) {
+    if (!candidate.feasible) {
+      ++infeasible;
+      EXPECT_NE(candidate.note.find("SPM"), std::string::npos);
+    } else {
+      EXPECT_GT(candidate.gflops, 0.0);
+    }
+  }
+  // 64x64x64, 128x128x32 and 128x128x64 overflow with double buffering.
+  EXPECT_EQ(infeasible, 3);
+}
+
+TEST(Tuner, AsmContractDominatesEverythingElse) {
+  TuneResult result = tuneTileSizes(CodegenOptions{}, sunway::ArchConfig{},
+                                    GemmProblem{8192, 8192, 8192});
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    const TuneCandidate& candidate = result.candidates[i];
+    if (!candidate.feasible || i == result.bestIndex) continue;
+    EXPECT_LT(candidate.gflops, result.best().gflops) << candidate.label();
+  }
+}
+
+std::vector<double> randomMatrix(std::int64_t count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> data(static_cast<std::size_t>(count));
+  for (double& v : data) v = dist(rng);
+  return data;
+}
+
+TEST(MultiCluster, FunctionalMatchesSingleReference) {
+  SwGemmCompiler compiler;
+  CompiledKernel kernel = compiler.compile(CodegenOptions{});
+  MultiClusterConfig config;
+  config.clusters = 3;
+
+  const std::int64_t m = 600, n = 256, k = 128;
+  std::vector<double> a = randomMatrix(m * k, 1);
+  std::vector<double> b = randomMatrix(k * n, 2);
+  std::vector<double> c = randomMatrix(m * n, 3);
+  std::vector<double> expected = c;
+
+  GemmProblem problem{m, n, k, 1, 2.0, 0.5};
+  MultiClusterOutcome outcome = runMultiClusterFunctional(
+      kernel, compiler.arch(), config, problem, a, b, c);
+  EXPECT_EQ(outcome.clustersUsed, 3);
+
+  kernel::referenceGemm(expected.data(), a.data(), b.data(), m, n, k, 2.0,
+                        0.5);
+  EXPECT_EQ(kernel::maxAbsDiff(c.data(), expected.data(), m * n), 0.0);
+}
+
+TEST(MultiCluster, ScalingImprovesUntilCommBound) {
+  SwGemmCompiler compiler;
+  CompiledKernel kernel = compiler.compile(CodegenOptions{});
+  const GemmProblem problem{12288, 4096, 4096};
+  double previous = 0.0;
+  for (int clusters : {1, 2, 3, 6}) {
+    MultiClusterConfig config;
+    config.clusters = clusters;
+    MultiClusterOutcome outcome =
+        estimateMultiCluster(kernel, compiler.arch(), config, problem);
+    EXPECT_GT(outcome.gflops, previous) << clusters;
+    previous = outcome.gflops;
+  }
+}
+
+TEST(MultiCluster, SingleClusterMatchesPlainEstimateModuloComm) {
+  SwGemmCompiler compiler;
+  CompiledKernel kernel = compiler.compile(CodegenOptions{});
+  const GemmProblem problem{4096, 4096, 4096};
+  MultiClusterConfig config;
+  config.clusters = 1;
+  MultiClusterOutcome outcome =
+      estimateMultiCluster(kernel, compiler.arch(), config, problem);
+  const double plain =
+      estimateGemm(kernel, compiler.arch(), problem).seconds;
+  EXPECT_DOUBLE_EQ(outcome.computeSeconds, plain);
+  EXPECT_GT(outcome.communicationSeconds, 0.0);
+}
+
+TEST(MultiCluster, RejectsUnsupportedKernels) {
+  SwGemmCompiler compiler;
+  CodegenOptions batched;
+  batched.batched = true;
+  CompiledKernel kernel = compiler.compile(batched);
+  EXPECT_THROW(estimateMultiCluster(kernel, compiler.arch(),
+                                    MultiClusterConfig{},
+                                    GemmProblem{512, 512, 256}),
+               sw::InternalError);
+}
+
+}  // namespace
+}  // namespace sw::core

@@ -1,0 +1,90 @@
+// Tests of the simulated xMath library: functional DGEMM correctness and
+// the timing model's published behaviours (§8.2–§8.4): power-of-two K
+// strength, large non-power-of-two K collapse, per-batch launch overhead.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "kernel/reference.h"
+#include "sunway/arch.h"
+#include "xmath/xmath.h"
+
+namespace sw::xmath {
+namespace {
+
+TEST(XMathFunctional, MatchesReference) {
+  const std::int64_t m = 33, n = 17, k = 21;
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> a(m * k), b(k * n), c(m * n), expected;
+  for (auto* v : {&a, &b, &c})
+    for (double& x : *v) x = dist(rng);
+  expected = c;
+  dgemm(c.data(), a.data(), b.data(), m, n, k, 1.5, -0.5);
+  kernel::referenceGemm(expected.data(), a.data(), b.data(), m, n, k, 1.5,
+                        -0.5);
+  EXPECT_EQ(kernel::maxAbsDiff(c.data(), expected.data(), m * n), 0.0);
+}
+
+TEST(XMathModel, PowerOfTwoKIsStrong) {
+  sunway::ArchConfig arch;
+  XMathModel model(arch);
+  // §8.2: above 93% of peak when K = 16384.
+  EXPECT_GT(model.efficiency(4096, 16384, 16384), 0.92);
+  EXPECT_GT(model.efficiency(8192, 8192, 8192), 0.88);
+  EXPECT_GT(model.efficiency(1024, 1024, 1024), 0.85);
+}
+
+TEST(XMathModel, LargeNonPowerOfTwoKCollapses) {
+  sunway::ArchConfig arch;
+  XMathModel model(arch);
+  // §8.2: 42.25% of peak at 8192 x 8192 x 15360.
+  EXPECT_LT(model.efficiency(8192, 8192, 15360), 0.48);
+  EXPECT_GT(model.efficiency(8192, 8192, 15360), 0.36);
+  // 7680^3, 10240^3, 15360^3 fall under 1500/2150 = 70% of peak.
+  for (std::int64_t s : {7680, 10240, 15360})
+    EXPECT_LT(model.efficiency(s, s, s), 0.70) << s;
+  // Small non-power-of-two K only pays a mild penalty.
+  EXPECT_GT(model.efficiency(1536, 1536, 1536), 0.80);
+}
+
+TEST(XMathModel, EfficiencyIsDeterministic) {
+  sunway::ArchConfig arch;
+  XMathModel model(arch);
+  EXPECT_EQ(model.efficiency(4096, 4096, 4096),
+            model.efficiency(4096, 4096, 4096));
+}
+
+TEST(XMathModel, BatchedPaysPerElementLaunch) {
+  sunway::ArchConfig arch;
+  XMathModel model(arch);
+  const double one = model.gemmSeconds(512, 512, 256);
+  const double eight = model.batchedGemmSeconds(8, 512, 512, 256);
+  EXPECT_DOUBLE_EQ(eight, 8.0 * one);
+  // Launch overhead is a visible fraction for small shapes.
+  EXPECT_GT(model.launchOverheadSeconds() / one, 0.2);
+}
+
+TEST(XMathModel, MpeElementwiseIsMemoryBound) {
+  sunway::ArchConfig arch;
+  XMathModel model(arch);
+  const std::int64_t elements = 4096 * 4096;
+  const double seconds = model.mpeElementwiseSeconds(elements);
+  EXPECT_NEAR(seconds,
+              2.0 * elements * 8 / arch.mpeMemBandwidthBytesPerSec,
+              seconds * 0.5);
+  // Scales linearly.
+  EXPECT_NEAR(model.mpeElementwiseSeconds(2 * elements), 2.0 * seconds,
+              seconds * 0.01);
+}
+
+TEST(XMathModel, GflopsNeverExceedPeak) {
+  sunway::ArchConfig arch;
+  XMathModel model(arch);
+  for (std::int64_t s : {512, 1000, 1536, 4096, 6144, 10240, 16384})
+    EXPECT_LT(model.gflops(s, s, s), arch.peakFlops() / 1e9) << s;
+}
+
+}  // namespace
+}  // namespace sw::xmath
