@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tiles"
+  "../bench/bench_ablation_tiles.pdb"
+  "CMakeFiles/bench_ablation_tiles.dir/bench_ablation_tiles.cc.o"
+  "CMakeFiles/bench_ablation_tiles.dir/bench_ablation_tiles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_codegen_time"
+  "../bench/bench_codegen_time.pdb"
+  "CMakeFiles/bench_codegen_time.dir/bench_codegen_time.cc.o"
+  "CMakeFiles/bench_codegen_time.dir/bench_codegen_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codegen_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

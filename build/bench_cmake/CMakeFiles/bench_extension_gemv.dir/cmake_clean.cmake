@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_gemv"
+  "../bench/bench_extension_gemv.pdb"
+  "CMakeFiles/bench_extension_gemv.dir/bench_extension_gemv.cc.o"
+  "CMakeFiles/bench_extension_gemv.dir/bench_extension_gemv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_multicluster"
+  "../bench/bench_extension_multicluster.pdb"
+  "CMakeFiles/bench_extension_multicluster.dir/bench_extension_multicluster.cc.o"
+  "CMakeFiles/bench_extension_multicluster.dir/bench_extension_multicluster.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_multicluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

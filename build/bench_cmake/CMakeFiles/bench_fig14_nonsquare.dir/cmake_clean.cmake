@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_nonsquare"
+  "../bench/bench_fig14_nonsquare.pdb"
+  "CMakeFiles/bench_fig14_nonsquare.dir/bench_fig14_nonsquare.cc.o"
+  "CMakeFiles/bench_fig14_nonsquare.dir/bench_fig14_nonsquare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_nonsquare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

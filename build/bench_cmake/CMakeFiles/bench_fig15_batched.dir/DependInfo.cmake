@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_batched.cc" "bench_cmake/CMakeFiles/bench_fig15_batched.dir/bench_fig15_batched.cc.o" "gcc" "bench_cmake/CMakeFiles/bench_fig15_batched.dir/bench_fig15_batched.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmath/CMakeFiles/sw_xmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sw_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/sw_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/sw_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/sunway/CMakeFiles/sw_sunway.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/sw_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/sw_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sw_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

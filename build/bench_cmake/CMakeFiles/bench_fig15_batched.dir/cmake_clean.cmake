@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_batched"
+  "../bench/bench_fig15_batched.pdb"
+  "CMakeFiles/bench_fig15_batched.dir/bench_fig15_batched.cc.o"
+  "CMakeFiles/bench_fig15_batched.dir/bench_fig15_batched.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_fusion"
+  "../bench/bench_fig16_fusion.pdb"
+  "CMakeFiles/bench_fig16_fusion.dir/bench_fig16_fusion.cc.o"
+  "CMakeFiles/bench_fig16_fusion.dir/bench_fig16_fusion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_batched_inference.dir/dl_batched_inference.cc.o"
+  "CMakeFiles/dl_batched_inference.dir/dl_batched_inference.cc.o.d"
+  "dl_batched_inference"
+  "dl_batched_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_batched_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

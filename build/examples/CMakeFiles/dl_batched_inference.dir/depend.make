@@ -1,0 +1,2 @@
+# Empty dependencies file for dl_batched_inference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_quantized_layer.dir/fused_quantized_layer.cc.o"
+  "CMakeFiles/fused_quantized_layer.dir/fused_quantized_layer.cc.o.d"
+  "fused_quantized_layer"
+  "fused_quantized_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_quantized_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

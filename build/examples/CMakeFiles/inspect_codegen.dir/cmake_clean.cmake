@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_codegen.dir/inspect_codegen.cc.o"
+  "CMakeFiles/inspect_codegen.dir/inspect_codegen.cc.o.d"
+  "inspect_codegen"
+  "inspect_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

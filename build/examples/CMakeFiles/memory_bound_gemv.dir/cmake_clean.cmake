@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_bound_gemv.dir/memory_bound_gemv.cc.o"
+  "CMakeFiles/memory_bound_gemv.dir/memory_bound_gemv.cc.o.d"
+  "memory_bound_gemv"
+  "memory_bound_gemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_bound_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

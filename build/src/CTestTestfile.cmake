@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("poly")
+subdirs("schedule")
+subdirs("frontend")
+subdirs("sunway")
+subdirs("kernel")
+subdirs("codegen")
+subdirs("runtime")
+subdirs("xmath")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/athread_printer.cc" "src/codegen/CMakeFiles/sw_codegen.dir/athread_printer.cc.o" "gcc" "src/codegen/CMakeFiles/sw_codegen.dir/athread_printer.cc.o.d"
+  "/root/repo/src/codegen/program.cc" "src/codegen/CMakeFiles/sw_codegen.dir/program.cc.o" "gcc" "src/codegen/CMakeFiles/sw_codegen.dir/program.cc.o.d"
+  "/root/repo/src/codegen/program_builder.cc" "src/codegen/CMakeFiles/sw_codegen.dir/program_builder.cc.o" "gcc" "src/codegen/CMakeFiles/sw_codegen.dir/program_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/sw_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/sw_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_codegen.dir/athread_printer.cc.o"
+  "CMakeFiles/sw_codegen.dir/athread_printer.cc.o.d"
+  "CMakeFiles/sw_codegen.dir/program.cc.o"
+  "CMakeFiles/sw_codegen.dir/program.cc.o.d"
+  "CMakeFiles/sw_codegen.dir/program_builder.cc.o"
+  "CMakeFiles/sw_codegen.dir/program_builder.cc.o.d"
+  "libsw_codegen.a"
+  "libsw_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

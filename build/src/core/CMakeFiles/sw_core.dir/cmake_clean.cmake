@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_core.dir/compiler.cc.o"
+  "CMakeFiles/sw_core.dir/compiler.cc.o.d"
+  "CMakeFiles/sw_core.dir/compiler_source.cc.o"
+  "CMakeFiles/sw_core.dir/compiler_source.cc.o.d"
+  "CMakeFiles/sw_core.dir/gemm_runner.cc.o"
+  "CMakeFiles/sw_core.dir/gemm_runner.cc.o.d"
+  "CMakeFiles/sw_core.dir/gemv.cc.o"
+  "CMakeFiles/sw_core.dir/gemv.cc.o.d"
+  "CMakeFiles/sw_core.dir/multi_cluster.cc.o"
+  "CMakeFiles/sw_core.dir/multi_cluster.cc.o.d"
+  "CMakeFiles/sw_core.dir/pipeline.cc.o"
+  "CMakeFiles/sw_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/sw_core.dir/tuner.cc.o"
+  "CMakeFiles/sw_core.dir/tuner.cc.o.d"
+  "libsw_core.a"
+  "libsw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

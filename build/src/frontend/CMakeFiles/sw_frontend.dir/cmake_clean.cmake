@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_frontend.dir/lexer.cc.o"
+  "CMakeFiles/sw_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/sw_frontend.dir/parser.cc.o"
+  "CMakeFiles/sw_frontend.dir/parser.cc.o.d"
+  "CMakeFiles/sw_frontend.dir/pattern.cc.o"
+  "CMakeFiles/sw_frontend.dir/pattern.cc.o.d"
+  "libsw_frontend.a"
+  "libsw_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_kernel.dir/microkernel.cc.o"
+  "CMakeFiles/sw_kernel.dir/microkernel.cc.o.d"
+  "CMakeFiles/sw_kernel.dir/reference.cc.o"
+  "CMakeFiles/sw_kernel.dir/reference.cc.o.d"
+  "libsw_kernel.a"
+  "libsw_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

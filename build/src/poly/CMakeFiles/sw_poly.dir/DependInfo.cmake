@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/affine.cc" "src/poly/CMakeFiles/sw_poly.dir/affine.cc.o" "gcc" "src/poly/CMakeFiles/sw_poly.dir/affine.cc.o.d"
+  "/root/repo/src/poly/dependence.cc" "src/poly/CMakeFiles/sw_poly.dir/dependence.cc.o" "gcc" "src/poly/CMakeFiles/sw_poly.dir/dependence.cc.o.d"
+  "/root/repo/src/poly/linear_system.cc" "src/poly/CMakeFiles/sw_poly.dir/linear_system.cc.o" "gcc" "src/poly/CMakeFiles/sw_poly.dir/linear_system.cc.o.d"
+  "/root/repo/src/poly/set.cc" "src/poly/CMakeFiles/sw_poly.dir/set.cc.o" "gcc" "src/poly/CMakeFiles/sw_poly.dir/set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_poly.dir/affine.cc.o"
+  "CMakeFiles/sw_poly.dir/affine.cc.o.d"
+  "CMakeFiles/sw_poly.dir/dependence.cc.o"
+  "CMakeFiles/sw_poly.dir/dependence.cc.o.d"
+  "CMakeFiles/sw_poly.dir/linear_system.cc.o"
+  "CMakeFiles/sw_poly.dir/linear_system.cc.o.d"
+  "CMakeFiles/sw_poly.dir/set.cc.o"
+  "CMakeFiles/sw_poly.dir/set.cc.o.d"
+  "libsw_poly.a"
+  "libsw_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_runtime.dir/executor.cc.o"
+  "CMakeFiles/sw_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/sw_runtime.dir/interpreter.cc.o"
+  "CMakeFiles/sw_runtime.dir/interpreter.cc.o.d"
+  "libsw_runtime.a"
+  "libsw_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_schedule.dir/transforms.cc.o"
+  "CMakeFiles/sw_schedule.dir/transforms.cc.o.d"
+  "CMakeFiles/sw_schedule.dir/tree.cc.o"
+  "CMakeFiles/sw_schedule.dir/tree.cc.o.d"
+  "libsw_schedule.a"
+  "libsw_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

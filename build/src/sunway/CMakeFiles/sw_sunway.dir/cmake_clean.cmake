@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_sunway.dir/mesh.cc.o"
+  "CMakeFiles/sw_sunway.dir/mesh.cc.o.d"
+  "libsw_sunway.a"
+  "libsw_sunway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_sunway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

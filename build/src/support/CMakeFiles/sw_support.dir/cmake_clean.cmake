@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_support.dir/logging.cc.o"
+  "CMakeFiles/sw_support.dir/logging.cc.o.d"
+  "libsw_support.a"
+  "libsw_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

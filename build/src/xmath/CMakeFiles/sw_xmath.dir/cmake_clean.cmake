@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_xmath.dir/xmath.cc.o"
+  "CMakeFiles/sw_xmath.dir/xmath.cc.o.d"
+  "libsw_xmath.a"
+  "libsw_xmath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_xmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

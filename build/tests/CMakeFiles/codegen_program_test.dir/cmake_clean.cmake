@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_program_test.dir/codegen_program_test.cc.o"
+  "CMakeFiles/codegen_program_test.dir/codegen_program_test.cc.o.d"
+  "codegen_program_test"
+  "codegen_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_runner_test.dir/gemm_runner_test.cc.o"
+  "CMakeFiles/gemm_runner_test.dir/gemm_runner_test.cc.o.d"
+  "gemm_runner_test"
+  "gemm_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

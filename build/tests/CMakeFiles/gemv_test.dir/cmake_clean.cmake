@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemv_test.dir/gemv_test.cc.o"
+  "CMakeFiles/gemv_test.dir/gemv_test.cc.o.d"
+  "gemv_test"
+  "gemv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

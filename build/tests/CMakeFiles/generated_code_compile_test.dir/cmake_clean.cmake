@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generated_code_compile_test.dir/generated_code_compile_test.cc.o"
+  "CMakeFiles/generated_code_compile_test.dir/generated_code_compile_test.cc.o.d"
+  "generated_code_compile_test"
+  "generated_code_compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_code_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_generality_test.dir/mesh_generality_test.cc.o"
+  "CMakeFiles/mesh_generality_test.dir/mesh_generality_test.cc.o.d"
+  "mesh_generality_test"
+  "mesh_generality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_generality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

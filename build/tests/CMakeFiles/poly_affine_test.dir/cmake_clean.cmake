@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_affine_test.dir/poly_affine_test.cc.o"
+  "CMakeFiles/poly_affine_test.dir/poly_affine_test.cc.o.d"
+  "poly_affine_test"
+  "poly_affine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_affine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

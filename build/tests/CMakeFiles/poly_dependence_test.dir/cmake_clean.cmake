@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_dependence_test.dir/poly_dependence_test.cc.o"
+  "CMakeFiles/poly_dependence_test.dir/poly_dependence_test.cc.o.d"
+  "poly_dependence_test"
+  "poly_dependence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_dependence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

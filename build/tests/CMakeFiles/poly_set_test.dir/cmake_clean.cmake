@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_set_test.dir/poly_set_test.cc.o"
+  "CMakeFiles/poly_set_test.dir/poly_set_test.cc.o.d"
+  "poly_set_test"
+  "poly_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_timing_test.dir/runtime_timing_test.cc.o"
+  "CMakeFiles/runtime_timing_test.dir/runtime_timing_test.cc.o.d"
+  "runtime_timing_test"
+  "runtime_timing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunway_sim_test.dir/sunway_sim_test.cc.o"
+  "CMakeFiles/sunway_sim_test.dir/sunway_sim_test.cc.o.d"
+  "sunway_sim_test"
+  "sunway_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunway_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_multicluster_test.dir/tuner_multicluster_test.cc.o"
+  "CMakeFiles/tuner_multicluster_test.dir/tuner_multicluster_test.cc.o.d"
+  "tuner_multicluster_test"
+  "tuner_multicluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_multicluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

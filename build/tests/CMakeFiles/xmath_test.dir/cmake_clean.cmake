@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmath_test.dir/xmath_test.cc.o"
+  "CMakeFiles/xmath_test.dir/xmath_test.cc.o.d"
+  "xmath_test"
+  "xmath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

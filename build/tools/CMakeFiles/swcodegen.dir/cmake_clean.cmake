@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcodegen.dir/swcodegen_main.cc.o"
+  "CMakeFiles/swcodegen.dir/swcodegen_main.cc.o.d"
+  "swcodegen"
+  "swcodegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcodegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
