@@ -14,21 +14,22 @@ void printTable() {
   const core::CodegenOptions without = variantOptions(true, true, false);
 
   std::printf("Ablation: latency-hiding speedup vs K (M = N = 4096)\n");
-  printRule(96);
-  std::printf("%8s %10s %12s %12s %10s %12s %12s\n", "K", "overlaps",
-              "hidden", "unhidden", "speedup", "stall(hid)", "stall(unh)");
-  printRule(96);
+  printRule(110);
+  std::printf("%8s %10s %12s %12s %10s %12s %12s %12s %12s\n", "K",
+              "overlaps", "hidden", "unhidden", "speedup", "stall(hid)",
+              "stall(unh)", "ovlp(hid)", "ovlp(unh)");
+  printRule(110);
   for (std::int64_t k : {256, 512, 1024, 2048, 4096, 8192, 16384, 32768}) {
     const Shape shape{4096, 4096, k};
-    const core::GemmProblem problem{shape.m, shape.n, shape.k};
-    auto fast = core::estimateGemm(cache.get(with), cache.arch(), problem);
-    auto slow =
-        core::estimateGemm(cache.get(without), cache.arch(), problem);
-    std::printf("%8ld %10ld %12.2f %12.2f %9.3fx %11.1f%% %11.1f%%\n",
-                static_cast<long>(k), static_cast<long>(k / 256 - 1),
-                fast.gflops, slow.gflops, fast.gflops / slow.gflops,
-                100.0 * fast.counters.waitStallSeconds / fast.seconds,
-                100.0 * slow.counters.waitStallSeconds / slow.seconds);
+    auto fast = cache.estimate(with, shape);
+    auto slow = cache.estimate(without, shape);
+    std::printf(
+        "%8ld %10ld %12.2f %12.2f %9.3fx %11.1f%% %11.1f%% %11.1f%% "
+        "%11.1f%%\n",
+        static_cast<long>(k), static_cast<long>(k / 256 - 1), fast.gflops,
+        slow.gflops, fast.gflops / slow.gflops, fast.metrics.stallPct,
+        slow.metrics.stallPct, fast.metrics.overlapPct,
+        slow.metrics.overlapPct);
   }
   std::printf("\n(the speedup rises with the overlap count "
               "ceil(K/256) - 1 and saturates; the stall column shows the "
@@ -42,16 +43,21 @@ void printTable() {
 int main(int argc, char** argv) {
   sw::bench::printTable();
   for (std::int64_t k : {256L, 1024L, 4096L, 16384L}) {
-    benchmark::RegisterBenchmark(
-        ("AblationOverlap/K" + std::to_string(k)).c_str(),
-        [k](benchmark::State& state) {
-          static sw::bench::KernelCache cache;
-          double gflops = 0.0;
-          for (auto _ : state)
-            gflops = cache.gflops(sw::bench::variantOptions(true, true, true),
-                                  sw::bench::Shape{4096, 4096, k});
-          state.counters["sim_gflops"] = gflops;
-        });
+    for (bool hide : {true, false}) {
+      benchmark::RegisterBenchmark(
+          ("AblationOverlap/K" + std::to_string(k) +
+           (hide ? "/hiding" : "/no-hiding"))
+              .c_str(),
+          [k, hide](benchmark::State& state) {
+            static sw::bench::KernelCache cache;
+            sw::rt::RunOutcome outcome;
+            for (auto _ : state)
+              outcome =
+                  cache.estimate(sw::bench::variantOptions(true, true, hide),
+                                 sw::bench::Shape{4096, 4096, k});
+            sw::bench::exportRunCounters(state, outcome, cache.arch());
+          });
+    }
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

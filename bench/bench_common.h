@@ -48,8 +48,13 @@ class KernelCache {
 
   double gflops(const core::CodegenOptions& options, const Shape& shape,
                 std::int64_t batch = 1) {
+    return estimate(options, shape, batch).gflops;
+  }
+
+  rt::RunOutcome estimate(const core::CodegenOptions& options,
+                          const Shape& shape, std::int64_t batch = 1) {
     core::GemmProblem problem{shape.m, shape.n, shape.k, batch};
-    return core::estimateGemm(get(options), arch(), problem).gflops;
+    return core::estimateGemm(get(options), arch(), problem);
   }
 
  private:
@@ -90,6 +95,23 @@ breakdownVariants() {
 inline void printRule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Publishes the simulated-run metrics of an outcome as benchmark counters
+/// so `--benchmark_format=json` carries the observability gauges next to
+/// "sim_gflops" (overlap/stall/occupancy percentages and the SPM
+/// high-water mark in KB).
+inline void exportRunCounters(benchmark::State& state,
+                              const rt::RunOutcome& outcome,
+                              const sunway::ArchConfig& arch) {
+  state.counters["sim_gflops"] = outcome.gflops;
+  state.counters["pct_peak"] = 100.0 * outcome.gflops /
+                               (arch.peakFlops() / 1e9);
+  state.counters["overlap_pct"] = outcome.metrics.overlapPct;
+  state.counters["stall_pct"] = outcome.metrics.stallPct;
+  state.counters["compute_pct"] = outcome.metrics.computePct;
+  state.counters["spm_high_water_kb"] =
+      static_cast<double>(outcome.metrics.spmHighWaterBytes) / 1024.0;
 }
 
 }  // namespace sw::bench

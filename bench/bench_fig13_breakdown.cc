@@ -66,11 +66,9 @@ void printTable() {
 void benchVariant(benchmark::State& state, const core::CodegenOptions& options,
                   const Shape& shape) {
   static KernelCache cache;
-  double gflops = 0.0;
-  for (auto _ : state) gflops = cache.gflops(options, shape);
-  state.counters["sim_gflops"] = gflops;
-  state.counters["pct_peak"] =
-      100.0 * gflops / (cache.arch().peakFlops() / 1e9);
+  rt::RunOutcome outcome;
+  for (auto _ : state) outcome = cache.estimate(options, shape);
+  exportRunCounters(state, outcome, cache.arch());
 }
 
 }  // namespace

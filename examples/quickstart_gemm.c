@@ -1,0 +1,15 @@
+/* The naive 3-loop GEMM of the quickstart, as a standalone input for the
+ * swcodegen CLI (used by the CI observability smoke run):
+ *   build/tools/swcodegen examples/quickstart_gemm.c \
+ *       --profile --trace trace.json --estimate 4096 4096 4096
+ */
+void gemm(long M, long N, long K, double alpha, double beta,
+          double A[M][K], double B[K][N], double C[M][N]) {
+  for (long i = 0; i < M; i++)
+    for (long j = 0; j < N; j++)
+      C[i][j] = beta * C[i][j];
+  for (long i = 0; i < M; i++)
+    for (long j = 0; j < N; j++)
+      for (long k = 0; k < K; k++)
+        C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];
+}

@@ -1,12 +1,21 @@
 #include "codegen/athread_printer.h"
 #include "core/compiler.h"
 #include "frontend/pattern.h"
+#include "support/trace.h"
 
 namespace sw::core {
 
 CompiledKernel SwGemmCompiler::compileSource(const std::string& source,
                                              CodegenOptions base) const {
-  frontend::GemmPatternInfo pattern = frontend::analyzeGemmSource(source);
+  frontend::GemmPatternInfo pattern;
+  {
+    trace::Span span("frontend.parse",
+                     {trace::arg("sourceBytes",
+                                 static_cast<std::int64_t>(source.size()))});
+    pattern = frontend::analyzeGemmSource(source);
+    span.addArg(trace::arg("function", pattern.functionName));
+    span.addArg(trace::arg("batched", pattern.batched ? "true" : "false"));
+  }
   base.batched = pattern.batched;
   base.transposeA = pattern.transposeA;
   base.transposeB = pattern.transposeB;

@@ -2,6 +2,8 @@
 
 #include "support/error.h"
 #include "support/format.h"
+#include "support/logging.h"
+#include "support/trace.h"
 #include "sunway/mesh.h"
 
 namespace sw::core {
@@ -40,6 +42,11 @@ rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
   SW_CHECK(problem.batch >= 1, "batch must be >= 1");
   SW_CHECK(kernel.options.batched || problem.batch == 1,
            "batch > 1 requires a kernel compiled with --batch");
+  trace::Span span("run.functional",
+                   {trace::arg("m", problem.m), trace::arg("n", problem.n),
+                    trace::arg("k", problem.k),
+                    trace::arg("batch", problem.batch)},
+                   "run");
   const PaddedShape padded =
       padShape(problem.m, problem.n, problem.k, kernel.options, arch);
 
@@ -78,6 +85,11 @@ rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
 rt::RunOutcome estimateGemm(const CompiledKernel& kernel,
                             const sunway::ArchConfig& arch,
                             const GemmProblem& problem) {
+  trace::Span span("run.estimate_gemm",
+                   {trace::arg("m", problem.m), trace::arg("n", problem.n),
+                    trace::arg("k", problem.k),
+                    trace::arg("batch", problem.batch)},
+                   "run");
   const PaddedShape padded =
       padShape(problem.m, problem.n, problem.k, kernel.options, arch);
   auto params = rt::bindParams(kernel.program, padded.m, padded.n, padded.k,

@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <optional>
 #include <utility>
 
 #include "codegen/program_builder.h"
@@ -9,6 +10,8 @@
 #include "support/format.h"
 #include "support/logging.h"
 #include "support/math_util.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace sw::core {
 
@@ -384,6 +387,15 @@ PipelineResult runGemmPipeline(const CodegenOptions& options,
   ctx.kStep = options.useRma ? options.tileK * options.stripFactor
                              : options.tileK;
 
+  // Per-stage trace spans: the optional is emplaced at each stage boundary
+  // so the previous span closes exactly where the next begins.
+  std::optional<trace::Span> stage;
+  stage.emplace("pipeline.dependence",
+                std::vector<trace::TraceArg>{
+                    trace::arg("batched", options.batched ? "true" : "false"),
+                    trace::arg("fusion",
+                               static_cast<std::int64_t>(options.fusion))});
+
   // --- Statement domains and dependence analysis (§2.2) -------------------
   std::vector<std::string> dims;
   if (options.batched) dims.push_back("b");
@@ -450,6 +462,13 @@ PipelineResult runGemmPipeline(const CodegenOptions& options,
     domains.push_back(epilogue);
   }
 
+  stage.emplace("pipeline.tile",
+                std::vector<trace::TraceArg>{
+                    trace::arg("tileM", options.tileM),
+                    trace::arg("tileN", options.tileN),
+                    trace::arg("tileK", options.tileK),
+                    trace::arg("stripFactor", options.stripFactor)});
+
   // --- Initial tree (Fig.2b) + batch isolation (Fig.3) --------------------
   sched::ScheduleTree tree =
       sched::buildInitialTree(domains, coincident, tilable);
@@ -489,6 +508,10 @@ PipelineResult runGemmPipeline(const CodegenOptions& options,
     kiBand = &sched::nodeCast<sched::BandNode>(ktBand.onlyChild());
   }
   result.tiledTreeDump = tree.toString();
+
+  stage.emplace("pipeline.compute_mark",
+                std::vector<trace::TraceArg>{
+                    trace::arg("useAsm", options.useAsm ? "true" : "false")});
 
   // --- Compute mark (§7.2): replace the point band's execution ------------
   sched::BandNode& pointBand = sched::findBandByVar(tree, "ii");
@@ -533,6 +556,11 @@ PipelineResult runGemmPipeline(const CodegenOptions& options,
   NodePtr markSubtree = std::move(mark);
   (void)pointBand;
 
+  stage.emplace("pipeline.dma_insertion",
+                std::vector<trace::TraceArg>{
+                    trace::arg("useRma", options.useRma ? "true" : "false"),
+                    trace::arg("kStep", ctx.kStep)});
+
   // --- Assemble the k-level memory structure (§4–§6) ----------------------
   NodePtr koLevel;
   if (!options.useRma) {
@@ -558,8 +586,16 @@ PipelineResult runGemmPipeline(const CodegenOptions& options,
     NodePtr kiSubtree = std::move(koBand->children()[0]);
     koBand->children().clear();
 
-    NodePtr innerLevel = buildInnerRmaLevel(ctx, std::move(markSubtree),
-                                            kiBand, std::move(kiSubtree));
+    NodePtr innerLevel;
+    {
+      trace::Span rmaSpan(
+          "pipeline.rma_broadcast",
+          {trace::arg("stripFactor", options.stripFactor),
+           trace::arg("innerPeeled",
+                      options.hideLatency ? "true" : "false")});
+      innerLevel = buildInnerRmaLevel(ctx, std::move(markSubtree), kiBand,
+                                      std::move(kiSubtree));
+    }
 
     const std::optional<std::string> koPhase =
         options.hideLatency ? std::optional<std::string>("ko") : std::nullopt;
@@ -583,6 +619,9 @@ PipelineResult runGemmPipeline(const CodegenOptions& options,
       koLevel = nullptr;  // ko band remains in the tree
     } else {
       // Fig.11 outer level: the ko band is replaced by a peeled sequence.
+      trace::Span hideSpan("pipeline.latency_hiding",
+                           {trace::arg("dmaPhases", std::int64_t{2}),
+                            trace::arg("kStep", ctx.kStep)});
       auto ext = std::make_unique<sched::ExtensionNode>();
       ext->copies.push_back(makeGetA(ctx, d("ko"), koPhase, 0));
       ext->copies.push_back(makeGetB(ctx, d("ko"), koPhase, 0));
@@ -679,6 +718,8 @@ PipelineResult runGemmPipeline(const CodegenOptions& options,
   tree.validate();
   result.finalTreeDump = tree.toString();
 
+  stage.emplace("pipeline.spm_layout");
+
   // --- Lower to the executable program (§7.1) -----------------------------
   codegen::KernelProgram program;
   program.name = strCat("swgemm", options.batched ? "_batched" : "",
@@ -717,11 +758,28 @@ PipelineResult runGemmPipeline(const CodegenOptions& options,
     program.buffers.push_back(codegen::SpmBufferDecl{
         "T_B", options.tileN, options.tileK, 1, 0});
   codegen::planSpmLayout(program, arch.spmBytes);
+  stage->addArg(trace::arg("buffers",
+                           static_cast<std::int64_t>(program.buffers.size())));
+  stage->addArg(trace::arg("spmBytes", program.spmBytesUsed()));
 
+  stage.emplace("pipeline.codegen");
   program.body = codegen::buildProgramBody(tree);
   result.program = std::move(program);
-  SW_INFO("pipeline produced ", codegen::countOps(result.program.body),
-          " static ops, SPM bytes ", result.program.spmBytesUsed());
+  const auto staticOps =
+      static_cast<std::int64_t>(codegen::countOps(result.program.body));
+  stage->addArg(trace::arg("staticOps", staticOps));
+  stage.reset();
+
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::global();
+  registry.set("compile.static_ops", static_cast<double>(staticOps));
+  registry.set("compile.spm_bytes",
+               static_cast<double>(result.program.spmBytesUsed()));
+  registry.set("compile.spm_buffers",
+               static_cast<double>(result.program.buffers.size()));
+  registry.add("compile.pipeline_runs", 1.0);
+  SW_INFO("pipeline", "event=pipeline_done static_ops=", staticOps,
+          " spm_bytes=", result.program.spmBytesUsed(),
+          " buffers=", result.program.buffers.size());
   return result;
 }
 

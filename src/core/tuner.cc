@@ -4,6 +4,9 @@
 
 #include "support/error.h"
 #include "support/format.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace sw::core {
 
@@ -15,6 +18,9 @@ TuneResult tuneTileSizes(const CodegenOptions& base,
                          const sunway::ArchConfig& arch,
                          const GemmProblem& shape) {
   const auto start = std::chrono::steady_clock::now();
+  trace::Span searchSpan("tune.search",
+                         {trace::arg("m", shape.m), trace::arg("n", shape.n),
+                          trace::arg("k", shape.k)});
   SwGemmCompiler compiler(arch);
   TuneResult result;
 
@@ -31,6 +37,10 @@ TuneResult tuneTileSizes(const CodegenOptions& base,
       options.tileM = tm;
       options.tileN = tm;
       options.tileK = tk;
+      trace::Span candidateSpan("tune.candidate",
+                                {trace::arg("tileM", tm),
+                                 trace::arg("tileN", tm),
+                                 trace::arg("tileK", tk)});
       try {
         CompiledKernel kernel = compiler.compile(options);
         candidate.feasible = true;
@@ -43,6 +53,12 @@ TuneResult tuneTileSizes(const CodegenOptions& base,
         candidate.feasible = false;
         candidate.note = e.what();
       }
+      candidateSpan.addArg(
+          trace::arg("feasible", candidate.feasible ? "true" : "false"));
+      candidateSpan.addArg(trace::arg("gflops", candidate.gflops));
+      SW_DEBUG("tuner", "event=candidate tile=", candidate.label(),
+               " feasible=", candidate.feasible,
+               " gflops=", candidate.gflops);
       if (candidate.feasible && candidate.gflops > bestGflops) {
         bestGflops = candidate.gflops;
         result.bestIndex = result.candidates.size();
@@ -55,6 +71,14 @@ TuneResult tuneTileSizes(const CodegenOptions& base,
   result.searchSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::global();
+  registry.set("tune.candidates",
+               static_cast<double>(result.candidates.size()));
+  registry.set("tune.best_gflops", bestGflops);
+  registry.set("tune.search_seconds", result.searchSeconds);
+  SW_INFO("tuner", "event=search_done best=", result.best().label(),
+          " best_gflops=", bestGflops,
+          " search_seconds=", result.searchSeconds);
   return result;
 }
 

@@ -1,10 +1,41 @@
 #include "runtime/executor.h"
 
+#include <algorithm>
+
 #include "sunway/estimator.h"
 #include "support/error.h"
 #include "support/format.h"
+#include "support/logging.h"
+#include "support/trace.h"
 
 namespace sw::rt {
+
+metrics::DerivedRunMetrics deriveRunMetrics(
+    const sunway::CpeCounters& totals, double wallSeconds, int cpeCount,
+    const codegen::KernelProgram& program, std::int64_t spmBudgetBytes) {
+  metrics::DerivedRunMetrics m;
+  const double busy = totals.dmaBusySeconds + totals.rmaBusySeconds;
+  if (busy > 0.0) {
+    const double hidden =
+        std::clamp(busy - totals.waitStallSeconds, 0.0, busy);
+    m.overlapPct = 100.0 * hidden / busy;
+  }
+  const double active = totals.computeSeconds + totals.waitStallSeconds;
+  if (active > 0.0)
+    m.stallPct = 100.0 * totals.waitStallSeconds / active;
+  const double aggregateWall = wallSeconds * static_cast<double>(cpeCount);
+  if (aggregateWall > 0.0)
+    m.computePct =
+        std::min(100.0, 100.0 * totals.computeSeconds / aggregateWall);
+  m.spmHighWaterBytes = program.spmBytesUsed();
+  m.spmBudgetBytes = spmBudgetBytes;
+  if (spmBudgetBytes > 0)
+    m.spmBudgetPct = 100.0 * static_cast<double>(m.spmHighWaterBytes) /
+                     static_cast<double>(spmBudgetBytes);
+  for (const codegen::SpmBufferDecl& buffer : program.buffers)
+    m.perBufferBytes[buffer.set] = buffer.totalBytes();
+  return m;
+}
 
 std::map<std::string, std::int64_t> bindParams(
     const codegen::KernelProgram& program, std::int64_t m, std::int64_t n,
@@ -35,6 +66,11 @@ RunOutcome runOnMesh(sunway::MeshSimulator& mesh,
                      const codegen::KernelProgram& program,
                      const std::map<std::string, std::int64_t>& params,
                      const ExecScalars& scalars, double reportedFlops) {
+  trace::Span span("run.mesh",
+                   {trace::arg("kernel", program.name),
+                    trace::arg("functional",
+                               mesh.functional() ? "true" : "false")},
+                   "run");
   sunway::MeshRunResult meshResult =
       mesh.run([&](sunway::CpeServices& services) {
         runCpeProgram(program, params, scalars, services);
@@ -43,6 +79,15 @@ RunOutcome runOnMesh(sunway::MeshSimulator& mesh,
   outcome.seconds = meshResult.seconds;
   outcome.gflops = reportedFlops / meshResult.seconds / 1e9;
   outcome.counters = meshResult.totals;
+  outcome.metrics =
+      deriveRunMetrics(meshResult.totals, meshResult.seconds,
+                       mesh.config().meshSize(), program,
+                       mesh.config().spmBytes);
+  outcome.metrics.publish(metrics::MetricsRegistry::global(), "run.mesh.");
+  SW_DEBUG("executor", "event=mesh_run kernel=", program.name,
+           " sim_seconds=", outcome.seconds, " gflops=", outcome.gflops,
+           " overlap_pct=", outcome.metrics.overlapPct,
+           " stall_pct=", outcome.metrics.stallPct);
   return outcome;
 }
 
@@ -50,12 +95,23 @@ RunOutcome estimateTiming(const sunway::ArchConfig& config,
                           const codegen::KernelProgram& program,
                           const std::map<std::string, std::int64_t>& params,
                           double reportedFlops) {
+  trace::Span span("run.estimate", {trace::arg("kernel", program.name)},
+                   "run");
   sunway::SymmetricCpeServices services(config);
   runCpeProgram(program, params, ExecScalars{}, services);
   RunOutcome outcome;
   outcome.seconds = services.totalSeconds();
   outcome.gflops = reportedFlops / outcome.seconds / 1e9;
   outcome.counters = services.counters();
+  outcome.metrics = deriveRunMetrics(outcome.counters, outcome.seconds,
+                                     /*cpeCount=*/1, program,
+                                     config.spmBytes);
+  outcome.metrics.publish(metrics::MetricsRegistry::global(),
+                          "run.estimate.");
+  SW_DEBUG("executor", "event=estimate kernel=", program.name,
+           " sim_seconds=", outcome.seconds, " gflops=", outcome.gflops,
+           " overlap_pct=", outcome.metrics.overlapPct,
+           " stall_pct=", outcome.metrics.stallPct);
   return outcome;
 }
 

@@ -11,6 +11,7 @@
 #include "runtime/interpreter.h"
 #include "sunway/arch.h"
 #include "sunway/mesh.h"
+#include "support/metrics.h"
 
 namespace sw::rt {
 
@@ -18,7 +19,17 @@ struct RunOutcome {
   double seconds = 0.0;
   double gflops = 0.0;
   sunway::CpeCounters counters;
+  /// Derived gauges (overlap %, stall %, SPM high-water vs. budget,
+  /// per-buffer bytes); filled by runOnMesh / estimateTiming.
+  metrics::DerivedRunMetrics metrics;
 };
+
+/// Compute the derived gauges from one run's aggregate counters.
+/// `cpeCount` is the number of CPEs the counters were summed over (64 for
+/// a mesh run, 1 for the symmetric estimator).
+metrics::DerivedRunMetrics deriveRunMetrics(
+    const sunway::CpeCounters& totals, double wallSeconds, int cpeCount,
+    const codegen::KernelProgram& program, std::int64_t spmBudgetBytes);
 
 /// Bind program parameter names to concrete (padded) sizes.
 std::map<std::string, std::int64_t> bindParams(

@@ -21,12 +21,25 @@
 #include "sunway/services.h"
 #include "support/error.h"
 #include "support/format.h"
+#include "support/trace.h"
 
 namespace sw::sunway {
 
 class SymmetricCpeServices final : public CpeServices {
  public:
-  explicit SymmetricCpeServices(const ArchConfig& config) : config_(config) {}
+  explicit SymmetricCpeServices(const ArchConfig& config)
+      : config_(config), tracing_(trace::enabled()) {
+    if (tracing_) {
+      trace::Tracer& tracer = trace::Tracer::global();
+      tracer.setProcessName(trace::kEstimatorPid,
+                            "symmetric estimator (simulated clock)");
+      tracer.setThreadName(trace::kEstimatorPid, 0, "CPE 0,0 (symmetric)");
+      tracer.setThreadName(trace::kEstimatorPid, trace::kDmaLaneOffset,
+                           "CPE 0,0 dma");
+      tracer.setThreadName(trace::kEstimatorPid, trace::kRmaLaneOffset,
+                           "CPE 0,0 rma");
+    }
+  }
 
   [[nodiscard]] int rid() const override { return 0; }
   [[nodiscard]] int cid() const override { return 0; }
@@ -49,6 +62,12 @@ class SymmetricCpeServices final : public CpeServices {
     counters_.dmaBusySeconds += done - start;
     dmaEngineBusyUntil_ = done;
     slotCompletion_[request.slot] = done;
+    if (tracing_)
+      trace::Tracer::global().simSpan(
+          trace::kEstimatorPid, trace::kDmaLaneOffset,
+          strCat("dma:", request.isPut ? "put:" : "get:", request.array),
+          "dma", start, done,
+          {trace::arg("bytes", bytes), trace::arg("slot", request.slot)});
     clock_ += kIssueOverheadSeconds;
   }
 
@@ -57,7 +76,15 @@ class SymmetricCpeServices final : public CpeServices {
     counters_.rmaBytesSent += request.bytes;
     double transfer = config_.rmaSeconds(request.bytes);
     if (request.kind == RmaKind::kPointToPoint) transfer *= 2.0;  // worst hop
+    counters_.rmaBusySeconds += transfer;
     slotCompletion_[request.slot] = clock_ + transfer;
+    if (tracing_)
+      trace::Tracer::global().simSpan(
+          trace::kEstimatorPid, trace::kRmaLaneOffset,
+          request.isRowBroadcast() ? "rma:rowbcast" : "rma:other", "rma",
+          clock_, clock_ + transfer,
+          {trace::arg("bytes", request.bytes),
+           trace::arg("slot", request.slot)});
     clock_ += kIssueOverheadSeconds;
   }
 
@@ -75,26 +102,38 @@ class SymmetricCpeServices final : public CpeServices {
           strCat("wait on slot '", slot, "' with no message in flight"));
     if (it->second > clock_) {
       counters_.waitStallSeconds += it->second - clock_;
+      if (tracing_)
+        trace::Tracer::global().simSpan(trace::kEstimatorPid, 0,
+                                        strCat("wait:", slot), "stall",
+                                        clock_, it->second);
       clock_ = it->second;
     }
   }
 
   void computeTime(double flops, ComputeRate rate) override {
     double seconds = 0.0;
+    const char* name = "compute";
     switch (rate) {
       case ComputeRate::kAsmKernel:
         seconds = config_.cpeComputeSeconds(flops, config_.cpeFlopsPerCycle,
                                             config_.asmKernelEfficiency);
         ++counters_.microKernelCalls;
+        name = "microkernel";
         break;
       case ComputeRate::kNaive:
         seconds = config_.cpeComputeSeconds(flops, config_.naiveFlopsPerCycle);
+        name = "naive_compute";
         break;
       case ComputeRate::kElementwise:
         seconds =
             config_.cpeComputeSeconds(flops, config_.elementwiseFlopsPerCycle);
+        name = "elementwise";
         break;
     }
+    if (tracing_)
+      trace::Tracer::global().simSpan(trace::kEstimatorPid, 0, name,
+                                      "compute", clock_, clock_ + seconds,
+                                      {trace::arg("flops", flops)});
     clock_ += seconds;
     counters_.computeSeconds += seconds;
   }
@@ -114,6 +153,7 @@ class SymmetricCpeServices final : public CpeServices {
   static constexpr double kIssueOverheadSeconds = 0.05e-6;
 
   const ArchConfig& config_;
+  bool tracing_;
   double clock_ = 0.0;
   double dmaEngineBusyUntil_ = 0.0;
   CpeCounters counters_;

@@ -10,6 +10,7 @@
 
 #include "support/error.h"
 #include "support/format.h"
+#include "support/trace.h"
 
 namespace sw::sunway {
 
@@ -119,7 +120,8 @@ class ThreadedCpeServices final : public CpeServices {
       : mesh_(mesh),
         cpeId_(cpeId),
         rid_(cpeId / mesh.config_.meshCols),
-        cid_(cpeId % mesh.config_.meshCols) {}
+        cid_(cpeId % mesh.config_.meshCols),
+        tracing_(trace::enabled()) {}
 
   [[nodiscard]] int rid() const override { return rid_; }
   [[nodiscard]] int cid() const override { return cid_; }
@@ -127,6 +129,7 @@ class ThreadedCpeServices final : public CpeServices {
 
   void sync() override {
     ++counters_.syncs;
+    const double entryClock = clock_;
     std::unique_lock<std::mutex> lock(mesh_.barrierMutex_);
     mesh_.clocks_[static_cast<std::size_t>(cpeId_)] = clock_;
     const std::int64_t myGeneration = mesh_.barrierGeneration_;
@@ -145,6 +148,9 @@ class ThreadedCpeServices final : public CpeServices {
         throw ProtocolError("mesh aborted while waiting at a barrier");
     }
     clock_ = mesh_.barrierMaxClock_ + mesh_.config_.syncSeconds;
+    if (tracing_)
+      trace::Tracer::global().simSpan(trace::kMeshPid, cpeId_, "sync", "sync",
+                                      entryClock, clock_);
   }
 
   void dmaIssue(const DmaRequest& request) override {
@@ -163,6 +169,12 @@ class ThreadedCpeServices final : public CpeServices {
     dmaEngineBusyUntil_ = done;
     slotCompletion_[request.slot] = done;
     clock_ += issueOverheadSeconds;
+    if (tracing_)
+      trace::Tracer::global().simSpan(
+          trace::kMeshPid, trace::kDmaLaneOffset + cpeId_,
+          strCat("dma:", request.isPut ? "put:" : "get:", request.array),
+          "dma", start, done,
+          {trace::arg("bytes", bytes), trace::arg("slot", request.slot)});
   }
 
   void rmaIssue(const RmaRequest& request) override {
@@ -192,11 +204,24 @@ class ThreadedCpeServices final : public CpeServices {
     if (request.kind == RmaKind::kPointToPoint && request.dstRid != rid_ &&
         request.dstCid != cid_)
       transfer *= 2.0;  // transit hop
+    counters_.rmaBusySeconds += transfer;
     {
       std::lock_guard<std::mutex> lock(channel->mutex);
       channel->rounds.push_back(RmaRound{clock_, transfer});
     }
     channel->cv.notify_all();
+    if (tracing_) {
+      const char* kind = request.kind == RmaKind::kRowBroadcast
+                             ? "rowbcast"
+                             : request.kind == RmaKind::kColBroadcast
+                                   ? "colbcast"
+                                   : "p2p";
+      trace::Tracer::global().simSpan(
+          trace::kMeshPid, trace::kRmaLaneOffset + cpeId_,
+          strCat("rma:", kind), "rma", clock_, clock_ + transfer,
+          {trace::arg("bytes", request.bytes),
+           trace::arg("slot", request.slot)});
+    }
     clock_ += issueOverheadSeconds;
   }
 
@@ -214,6 +239,10 @@ class ThreadedCpeServices final : public CpeServices {
             strCat("dma_wait_value on slot '", slot, "' with no message"));
       if (it->second > clock_) {
         counters_.waitStallSeconds += it->second - clock_;
+        if (tracing_)
+          trace::Tracer::global().simSpan(trace::kMeshPid, cpeId_,
+                                          strCat("wait:", slot), "stall",
+                                          clock_, it->second);
         clock_ = it->second;
       }
       return;
@@ -223,22 +252,30 @@ class ThreadedCpeServices final : public CpeServices {
 
   void computeTime(double flops, ComputeRate rate) override {
     double seconds = 0.0;
+    const char* name = "compute";
     switch (rate) {
       case ComputeRate::kAsmKernel:
         seconds = mesh_.config_.cpeComputeSeconds(
             flops, mesh_.config_.cpeFlopsPerCycle,
             mesh_.config_.asmKernelEfficiency);
         ++counters_.microKernelCalls;
+        name = "microkernel";
         break;
       case ComputeRate::kNaive:
         seconds = mesh_.config_.cpeComputeSeconds(
             flops, mesh_.config_.naiveFlopsPerCycle);
+        name = "naive_compute";
         break;
       case ComputeRate::kElementwise:
         seconds = mesh_.config_.cpeComputeSeconds(
             flops, mesh_.config_.elementwiseFlopsPerCycle);
+        name = "elementwise";
         break;
     }
+    if (tracing_)
+      trace::Tracer::global().simSpan(trace::kMeshPid, cpeId_, name,
+                                      "compute", clock_, clock_ + seconds,
+                                      {trace::arg("flops", flops)});
     clock_ += seconds;
     counters_.computeSeconds += seconds;
   }
@@ -328,6 +365,10 @@ class ThreadedCpeServices final : public CpeServices {
     const double completion = r.sendTimeSeconds + r.transferSeconds;
     if (completion > clock_) {
       counters_.waitStallSeconds += completion - clock_;
+      if (tracing_)
+        trace::Tracer::global().simSpan(trace::kMeshPid, cpeId_,
+                                        strCat("wait:", slot), "stall",
+                                        clock_, completion);
       clock_ = completion;
     }
   }
@@ -341,6 +382,7 @@ class ThreadedCpeServices final : public CpeServices {
   int cpeId_;
   int rid_;
   int cid_;
+  bool tracing_;
   double clock_ = 0.0;
   double dmaEngineBusyUntil_ = 0.0;
   CpeCounters counters_;
@@ -366,6 +408,23 @@ MeshRunResult MeshSimulator::run(
   impl_->barrierArrived_ = 0;
   std::fill(impl_->clocks_.begin(), impl_->clocks_.end(), 0.0);
 
+  if (trace::enabled()) {
+    // Name the 64 CPE lanes (plus the DMA/RMA engine side lanes) so the
+    // per-CPE timelines group legibly in Perfetto.
+    trace::Tracer& tracer = trace::Tracer::global();
+    tracer.setProcessName(trace::kMeshPid, "mesh simulator (simulated clock)");
+    for (int id = 0; id < impl_->meshSize_; ++id) {
+      const int rid = id / config_.meshCols;
+      const int cid = id % config_.meshCols;
+      tracer.setThreadName(trace::kMeshPid, id,
+                           strCat("CPE ", rid, ",", cid));
+      tracer.setThreadName(trace::kMeshPid, trace::kDmaLaneOffset + id,
+                           strCat("CPE ", rid, ",", cid, " dma"));
+      tracer.setThreadName(trace::kMeshPid, trace::kRmaLaneOffset + id,
+                           strCat("CPE ", rid, ",", cid, " rma"));
+    }
+  }
+
   std::vector<std::unique_ptr<ThreadedCpeServices>> services;
   services.reserve(static_cast<std::size_t>(impl_->meshSize_));
   for (int id = 0; id < impl_->meshSize_; ++id)
@@ -387,8 +446,10 @@ MeshRunResult MeshSimulator::run(
 
   MeshRunResult result;
   result.perCpeSeconds.reserve(services.size());
+  result.perCpeCounters.reserve(services.size());
   for (auto& svc : services) {
     result.perCpeSeconds.push_back(svc->clockSeconds());
+    result.perCpeCounters.push_back(svc->counters());
     result.totals.add(svc->counters());
   }
   result.seconds =

@@ -33,6 +33,9 @@ struct MeshRunResult {
   double seconds = 0.0;
   CpeCounters totals;
   std::vector<double> perCpeSeconds;
+  /// Raw counters of each CPE in mesh order (rid * meshCols + cid), for
+  /// per-lane attribution and the counter-invariant tests.
+  std::vector<CpeCounters> perCpeCounters;
 };
 
 class MeshSimulator {

@@ -73,6 +73,9 @@ struct CpeCounters {
   /// Time the CPE's DMA engine spends transferring (may overlap compute —
   /// that overlap is exactly what §6's pipelining buys).
   double dmaBusySeconds = 0.0;
+  /// Time this CPE's outbound RMA transfers occupy the mesh network (the
+  /// receive side charges nothing; only exposed latency shows up as stall).
+  double rmaBusySeconds = 0.0;
   /// Time the CPE's clock is advanced by reply waits (exposed latency).
   double waitStallSeconds = 0.0;
 
@@ -85,6 +88,7 @@ struct CpeCounters {
     microKernelCalls += other.microKernelCalls;
     computeSeconds += other.computeSeconds;
     dmaBusySeconds += other.dmaBusySeconds;
+    rmaBusySeconds += other.rmaBusySeconds;
     waitStallSeconds += other.waitStallSeconds;
   }
 };

@@ -1,9 +1,11 @@
 #include "support/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace sw {
@@ -11,29 +13,47 @@ namespace sw {
 namespace {
 
 std::atomic<int> g_level{-1};  // -1 = uninitialised
+std::atomic<bool> g_fromEnv{false};
 std::mutex g_mutex;
 
 LogLevel levelFromEnv() {
   const char* env = std::getenv("SWCODEGEN_LOG");
   if (env == nullptr) return LogLevel::kOff;
+  g_fromEnv.store(true, std::memory_order_relaxed);
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
   if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  g_fromEnv.store(false, std::memory_order_relaxed);
   return LogLevel::kOff;
 }
 
 const char* levelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
-      return "DEBUG";
+      return "debug";
     case LogLevel::kInfo:
-      return "INFO";
+      return "info";
     case LogLevel::kWarn:
-      return "WARN";
+      return "warn";
     case LogLevel::kOff:
-      return "OFF";
+      return "off";
   }
   return "?";
+}
+
+/// ISO-8601 local time with millisecond precision.
+void formatTimestamp(char* buf, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  localtime_r(&seconds, &tm);
+  char datePart[32];
+  std::strftime(datePart, sizeof(datePart), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf, size, "%s.%03d", datePart, static_cast<int>(millis));
 }
 
 }  // namespace
@@ -51,10 +71,19 @@ void setLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-void logMessage(LogLevel level, const std::string& message) {
+bool logLevelFromEnv() {
+  (void)logLevel();  // force env parse
+  return g_fromEnv.load(std::memory_order_relaxed);
+}
+
+void logMessage(LogLevel level, std::string_view component,
+                const std::string& fields) {
+  char ts[48];
+  formatTimestamp(ts, sizeof(ts));
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[swcodegen %s] %s\n", levelName(level),
-               message.c_str());
+  std::fprintf(stderr, "ts=%s level=%s component=%.*s %s\n", ts,
+               levelName(level), static_cast<int>(component.size()),
+               component.data(), fields.c_str());
 }
 
 }  // namespace sw

@@ -1,9 +1,18 @@
-// Tiny leveled logger.  The simulator and compiler are silent by default;
-// set SWCODEGEN_LOG=debug|info|warn in the environment (or call
+// Structured leveled logger.  The simulator and compiler are silent by
+// default; set SWCODEGEN_LOG=debug|info|warn in the environment (or call
 // setLogLevel) to see pipeline traces.
+//
+// Lines are machine-parseable key=value records with a timestamp and a
+// component tag:
+//   ts=2026-08-05T12:34:56.789 level=info component=pipeline static_ops=188
+// Callers pass the component as the first macro argument and build the
+// message from key=value fragments with strCat-style varargs.
 #pragma once
 
 #include <string>
+#include <string_view>
+
+#include "support/format.h"
 
 namespace sw {
 
@@ -13,17 +22,26 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
 
-/// Write one log line to stderr if `level` passes the threshold.
-void logMessage(LogLevel level, const std::string& message);
+/// True when $SWCODEGEN_LOG set an explicit threshold (the CLI keeps a
+/// user-provided level and only raises the default to warn otherwise).
+bool logLevelFromEnv();
+
+/// Write one structured log line to stderr if `level` passes the
+/// threshold.  `fields` must already be key=value formatted.
+void logMessage(LogLevel level, std::string_view component,
+                const std::string& fields);
 
 }  // namespace sw
 
-#define SW_LOG(level, ...)                                            \
-  do {                                                                \
-    if (static_cast<int>(level) >= static_cast<int>(::sw::logLevel())) \
-      ::sw::logMessage(level, ::sw::strCat(__VA_ARGS__));             \
+#define SW_LOG(level, component, ...)                                     \
+  do {                                                                    \
+    if (static_cast<int>(level) >= static_cast<int>(::sw::logLevel()))    \
+      ::sw::logMessage(level, component, ::sw::strCat(__VA_ARGS__));      \
   } while (0)
 
-#define SW_DEBUG(...) SW_LOG(::sw::LogLevel::kDebug, __VA_ARGS__)
-#define SW_INFO(...) SW_LOG(::sw::LogLevel::kInfo, __VA_ARGS__)
-#define SW_WARN(...) SW_LOG(::sw::LogLevel::kWarn, __VA_ARGS__)
+#define SW_DEBUG(component, ...) \
+  SW_LOG(::sw::LogLevel::kDebug, component, __VA_ARGS__)
+#define SW_INFO(component, ...) \
+  SW_LOG(::sw::LogLevel::kInfo, component, __VA_ARGS__)
+#define SW_WARN(component, ...) \
+  SW_LOG(::sw::LogLevel::kWarn, component, __VA_ARGS__)

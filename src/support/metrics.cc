@@ -1,0 +1,61 @@
+#include "support/metrics.h"
+
+namespace sw::metrics {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] += delta;
+}
+
+double MetricsRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_.count(name) != 0;
+}
+
+std::map<std::string, double> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_.clear();
+}
+
+std::map<std::string, double> DerivedRunMetrics::toGauges(
+    const std::string& prefix) const {
+  std::map<std::string, double> gauges;
+  gauges[prefix + "overlap_pct"] = overlapPct;
+  gauges[prefix + "stall_pct"] = stallPct;
+  gauges[prefix + "compute_pct"] = computePct;
+  gauges[prefix + "spm_high_water_bytes"] =
+      static_cast<double>(spmHighWaterBytes);
+  gauges[prefix + "spm_budget_pct"] = spmBudgetPct;
+  for (const auto& [set, bytes] : perBufferBytes)
+    gauges[prefix + "spm_buffer_bytes." + set] = static_cast<double>(bytes);
+  return gauges;
+}
+
+void DerivedRunMetrics::publish(MetricsRegistry& registry,
+                                const std::string& prefix) const {
+  for (const auto& [name, value] : toGauges(prefix))
+    registry.set(name, value);
+}
+
+}  // namespace sw::metrics

@@ -1,0 +1,279 @@
+#include "support/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::trace {
+
+namespace {
+
+// Initialised from the environment at static-init time: the hot-path
+// enabled() probe must honour SWCODEGEN_TRACE even before anything has
+// constructed Tracer::global() (spans check the flag first).
+std::atomic<bool> g_enabled{std::getenv("SWCODEGEN_TRACE") != nullptr};
+
+double steadyMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string formatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void appendArgs(std::string& out, const std::vector<TraceArg>& args) {
+  out += "{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += jsonEscape(a.key);
+    out += "\":";
+    if (a.numeric) {
+      out += a.value;
+    } else {
+      out += "\"";
+      out += jsonEscape(a.value);
+      out += "\"";
+    }
+  }
+  out += "}";
+}
+
+}  // namespace
+
+TraceArg arg(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), false};
+}
+TraceArg arg(std::string key, const char* value) {
+  return TraceArg{std::move(key), value, false};
+}
+TraceArg arg(std::string key, std::int64_t value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+TraceArg arg(std::string key, double value) {
+  return TraceArg{std::move(key), formatDouble(value), true};
+}
+
+Tracer::Tracer() : epochMicros_(steadyMicros()) {
+  if (std::getenv("SWCODEGEN_TRACE") != nullptr) enable();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = true;
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = false;
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const { return g_enabled.load(std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  namedLanes_.clear();
+}
+
+double Tracer::nowMicros() const { return steadyMicros() - epochMicros_; }
+
+void Tracer::completeEvent(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::simSpan(int pid, std::int64_t lane, std::string name,
+                     std::string category, double startSeconds,
+                     double endSeconds, std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.pid = pid;
+  event.tid = lane;
+  event.tsMicros = startSeconds * 1e6;
+  event.durMicros = (endSeconds - startSeconds) * 1e6;
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::setProcessName(int pid, const std::string& name) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = strCat("p", pid);
+  for (const std::string& seen : namedLanes_)
+    if (seen == key) return;
+  namedLanes_.push_back(key);
+  TraceEvent event;
+  event.name = "process_name";
+  event.phase = 'M';
+  event.pid = pid;
+  event.tid = 0;
+  event.args.push_back(arg("name", name));
+  events_.push_back(std::move(event));
+}
+
+void Tracer::setThreadName(int pid, std::int64_t tid,
+                           const std::string& name) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = strCat("p", pid, "/t", tid);
+  for (const std::string& seen : namedLanes_)
+    if (seen == key) return;
+  namedLanes_.push_back(key);
+  TraceEvent event;
+  event.name = "thread_name";
+  event.phase = 'M';
+  event.pid = pid;
+  event.tid = tid;
+  event.args.push_back(arg("name", name));
+  events_.push_back(std::move(event));
+}
+
+std::size_t Tracer::eventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string Tracer::toJson() const {
+  std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 128 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    out += jsonEscape(e.name);
+    out += "\",\"cat\":\"";
+    out += jsonEscape(e.category.empty() ? "swcodegen" : e.category);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":";
+    out += std::to_string(e.pid);
+    out += ",\"tid\":";
+    out += std::to_string(e.tid);
+    if (e.phase == 'X') {
+      out += ",\"ts\":";
+      out += formatDouble(e.tsMicros);
+      out += ",\"dur\":";
+      out += formatDouble(e.durMicros);
+    }
+    if (!e.args.empty() || e.phase == 'M') {
+      out += ",\"args\":";
+      appendArgs(out, e.args);
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void Tracer::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    throw InputError(strCat("cannot write trace file '", path, "'"));
+  out << toJson();
+}
+
+std::int64_t currentThreadLane() {
+  static std::atomic<std::int64_t> next{0};
+  thread_local const std::int64_t lane =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+Span::Span(std::string name, std::vector<TraceArg> args, std::string category)
+    : name_(std::move(name)),
+      category_(std::move(category)),
+      args_(std::move(args)) {
+  if (!enabled()) return;
+  active_ = true;
+  startMicros_ = Tracer::global().nowMicros();
+}
+
+Span::~Span() {
+  if (!active_ || !enabled()) return;
+  Tracer& tracer = Tracer::global();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.phase = 'X';
+  event.pid = kCompilePid;
+  event.tid = currentThreadLane();
+  event.tsMicros = startMicros_;
+  event.durMicros = tracer.nowMicros() - startMicros_;
+  event.args = std::move(args_);
+  tracer.setProcessName(kCompilePid, "swcodegen compile");
+  tracer.completeEvent(std::move(event));
+}
+
+void Span::addArg(TraceArg a) {
+  if (active_) args_.push_back(std::move(a));
+}
+
+}  // namespace sw::trace

@@ -1,0 +1,155 @@
+// Tests of the metrics layer: registry semantics, the deriveRunMetrics
+// formulas on hand-made counters, the per-CPE counter invariants of a
+// functional mesh run, and the §6 acceptance property that latency hiding
+// strictly raises the overlap gauge.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/gemm_runner.h"
+#include "core/pipeline.h"
+#include "runtime/executor.h"
+#include "sunway/host_memory.h"
+#include "sunway/mesh.h"
+#include "support/metrics.h"
+
+namespace sw {
+namespace {
+
+TEST(MetricsRegistry, SetAddGetSnapshotClear) {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::global();
+  registry.clear();
+  EXPECT_FALSE(registry.has("x"));
+  EXPECT_EQ(registry.get("x"), 0.0);
+  registry.set("x", 2.5);
+  EXPECT_TRUE(registry.has("x"));
+  EXPECT_EQ(registry.get("x"), 2.5);
+  registry.add("x", 1.5);
+  registry.add("fresh", 3.0);  // add on a missing gauge starts from 0
+  EXPECT_EQ(registry.get("x"), 4.0);
+  EXPECT_EQ(registry.get("fresh"), 3.0);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.at("x"), 4.0);
+  registry.clear();
+  EXPECT_FALSE(registry.has("x"));
+}
+
+TEST(DeriveRunMetrics, FormulasOnKnownCounters) {
+  sunway::CpeCounters totals;
+  totals.computeSeconds = 4.0;
+  totals.dmaBusySeconds = 2.0;
+  totals.rmaBusySeconds = 1.0;
+  totals.waitStallSeconds = 0.5;
+
+  codegen::KernelProgram program;
+  program.buffers = {codegen::SpmBufferDecl{"C", 64, 64, 1, 0},
+                     codegen::SpmBufferDecl{"A", 64, 32, 2, 0}};
+  codegen::planSpmLayout(program, 256 * 1024);
+
+  const metrics::DerivedRunMetrics m = rt::deriveRunMetrics(
+      totals, /*wallSeconds=*/5.0, /*cpeCount=*/1, program, 256 * 1024);
+  // busy = 3, hidden = 3 - 0.5 = 2.5.
+  EXPECT_NEAR(m.overlapPct, 100.0 * 2.5 / 3.0, 1e-9);
+  EXPECT_NEAR(m.stallPct, 100.0 * 0.5 / 4.5, 1e-9);
+  EXPECT_NEAR(m.computePct, 80.0, 1e-9);
+  EXPECT_EQ(m.spmHighWaterBytes, program.spmBytesUsed());
+  EXPECT_EQ(m.spmBudgetBytes, 256 * 1024);
+  EXPECT_EQ(m.perBufferBytes.at("C"), 64 * 64 * 8);
+  EXPECT_EQ(m.perBufferBytes.at("A"), 2 * 64 * 32 * 8);
+
+  // Gauge flattening carries every scalar plus one entry per buffer.
+  const auto gauges = m.toGauges("t.");
+  EXPECT_NEAR(gauges.at("t.overlap_pct"), m.overlapPct, 1e-12);
+  EXPECT_TRUE(gauges.count("t.spm_buffer_bytes.A"));
+}
+
+TEST(DeriveRunMetrics, StallHeavyScheduleHasLowOverlap) {
+  sunway::CpeCounters totals;
+  totals.computeSeconds = 1.0;
+  totals.dmaBusySeconds = 2.0;
+  totals.waitStallSeconds = 2.0;  // every DMA second exposed
+  codegen::KernelProgram program;
+  const metrics::DerivedRunMetrics m =
+      rt::deriveRunMetrics(totals, 3.0, 1, program, 256 * 1024);
+  EXPECT_NEAR(m.overlapPct, 0.0, 1e-9);
+  EXPECT_GE(m.stallPct, 50.0);
+}
+
+TEST(PerCpeCounters, FunctionalMeshRunInvariants) {
+  core::SwGemmCompiler compiler;
+  const core::CompiledKernel kernel = compiler.compile(core::CodegenOptions{});
+  const sunway::ArchConfig arch = compiler.arch();
+
+  const core::PaddedShape padded =
+      core::padShape(64, 64, 64, kernel.options, arch);
+  sunway::MeshSimulator mesh(arch, /*functional=*/true);
+  mesh.memory().add(
+      sunway::HostArray::allocate("A", 1, padded.m, padded.k));
+  mesh.memory().add(
+      sunway::HostArray::allocate("B", 1, padded.k, padded.n));
+  mesh.memory().add(
+      sunway::HostArray::allocate("C", 1, padded.m, padded.n));
+  const auto params =
+      rt::bindParams(kernel.program, padded.m, padded.n, padded.k, 1);
+  const sunway::MeshRunResult result =
+      mesh.run([&](sunway::CpeServices& services) {
+        rt::runCpeProgram(kernel.program, params, rt::ExecScalars{1.0, 0.0},
+                          services);
+      });
+
+  ASSERT_EQ(result.perCpeCounters.size(),
+            static_cast<std::size_t>(arch.meshSize()));
+  sunway::CpeCounters resummed;
+  for (const sunway::CpeCounters& cpe : result.perCpeCounters) {
+    // Active time cannot exceed the mesh wall clock: the CPE's logical
+    // clock only ever advances, and the wall clock is the slowest clock
+    // plus spawn overhead.
+    EXPECT_LE(cpe.computeSeconds + cpe.waitStallSeconds,
+              result.seconds + 1e-12);
+    EXPECT_GE(cpe.computeSeconds, 0.0);
+    EXPECT_GE(cpe.waitStallSeconds, 0.0);
+    resummed.add(cpe);
+  }
+  EXPECT_NEAR(resummed.computeSeconds, result.totals.computeSeconds, 1e-12);
+  EXPECT_NEAR(resummed.waitStallSeconds, result.totals.waitStallSeconds,
+              1e-12);
+  EXPECT_EQ(resummed.dmaMessages, result.totals.dmaMessages);
+
+  const metrics::DerivedRunMetrics m =
+      rt::deriveRunMetrics(result.totals, result.seconds, arch.meshSize(),
+                           kernel.program, arch.spmBytes);
+  EXPECT_GE(m.overlapPct, 0.0);
+  EXPECT_LE(m.overlapPct, 100.0);
+  EXPECT_GE(m.stallPct, 0.0);
+  EXPECT_LE(m.stallPct, 100.0);
+  EXPECT_GT(m.spmHighWaterBytes, 0);
+  EXPECT_LE(m.spmHighWaterBytes, arch.spmBytes);
+}
+
+TEST(OverlapGauge, LatencyHidingStrictlyRaisesOverlap) {
+  core::SwGemmCompiler compiler;
+  core::CodegenOptions hiding;   // defaults enable the full pipeline
+  core::CodegenOptions exposed = hiding;
+  exposed.hideLatency = false;
+
+  const core::GemmProblem problem{4096, 4096, 4096, 1};
+  const rt::RunOutcome fast =
+      core::estimateGemm(compiler.compile(hiding), compiler.arch(), problem);
+  const rt::RunOutcome slow =
+      core::estimateGemm(compiler.compile(exposed), compiler.arch(), problem);
+
+  EXPECT_GT(fast.metrics.overlapPct, slow.metrics.overlapPct);
+  EXPECT_LT(fast.metrics.stallPct, slow.metrics.stallPct);
+  EXPECT_GT(fast.gflops, slow.gflops);
+  for (const rt::RunOutcome* o : {&fast, &slow}) {
+    EXPECT_GE(o->metrics.overlapPct, 0.0);
+    EXPECT_LE(o->metrics.overlapPct, 100.0);
+    EXPECT_LE(o->metrics.spmHighWaterBytes, compiler.arch().spmBytes);
+  }
+}
+
+}  // namespace
+}  // namespace sw

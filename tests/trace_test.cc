@@ -1,0 +1,254 @@
+// Tests of the Chrome trace-event tracer: JSON well-formedness (checked
+// with a minimal recursive-descent parser), compile-stage span coverage
+// and nesting, escaping of hostile strings, and the per-CPE lanes emitted
+// by a functional mesh run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/gemm_runner.h"
+#include "support/trace.h"
+
+namespace sw::trace {
+namespace {
+
+// --- minimal JSON well-formedness checker -------------------------------
+// Validates syntax only (objects, arrays, strings with escapes, numbers,
+// literals); enough to guarantee Perfetto's parser will not reject the
+// file for structural reasons.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i)
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])))
+              return false;
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().enable();
+  }
+  void TearDown() override {
+    Tracer::global().disable();
+    Tracer::global().clear();
+  }
+};
+
+core::CompiledKernel compileDefault() {
+  core::SwGemmCompiler compiler;
+  return compiler.compile(core::CodegenOptions{});
+}
+
+TEST_F(TraceTest, CompileEmitsWellFormedJson) {
+  compileDefault();
+  const std::string json = Tracer::global().toJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST_F(TraceTest, HostileStringsAreEscaped) {
+  TraceEvent event;
+  event.name = "quote\" back\\slash \n tab\t ctrl\x01 end";
+  event.category = "compile";
+  event.args.push_back(arg("k\"ey", "va\\lue\nnewline"));
+  Tracer::global().completeEvent(std::move(event));
+  const std::string json = Tracer::global().toJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+}
+
+TEST_F(TraceTest, CompileStageSpansPresentAndNested) {
+  compileDefault();
+  const std::vector<TraceEvent> events = Tracer::global().snapshot();
+
+  std::set<std::string> stages;
+  for (const TraceEvent& e : events)
+    if (e.phase == 'X' && e.category == "compile") stages.insert(e.name);
+
+  // The acceptance bar is >= 6 named compile-stage spans.
+  const std::vector<std::string> expected = {
+      "compile",          "pipeline.dependence",  "pipeline.tile",
+      "pipeline.compute_mark", "pipeline.dma_insertion",
+      "pipeline.rma_broadcast", "pipeline.latency_hiding",
+      "pipeline.spm_layout", "pipeline.codegen", "codegen.print"};
+  int found = 0;
+  for (const std::string& name : expected) found += stages.count(name);
+  EXPECT_GE(found, 6) << "only " << found << " stage spans present";
+
+  // Nesting: every pipeline.* span lies inside the enclosing "compile"
+  // span on the same lane.
+  const auto compileSpan =
+      std::find_if(events.begin(), events.end(), [](const TraceEvent& e) {
+        return e.phase == 'X' && e.name == "compile";
+      });
+  ASSERT_NE(compileSpan, events.end());
+  const double begin = compileSpan->tsMicros;
+  const double end = begin + compileSpan->durMicros;
+  for (const TraceEvent& e : events) {
+    if (e.phase != 'X' || e.name.rfind("pipeline.", 0) != 0) continue;
+    EXPECT_GE(e.tsMicros, begin) << e.name;
+    EXPECT_LE(e.tsMicros + e.durMicros, end) << e.name;
+    EXPECT_EQ(e.tid, compileSpan->tid) << e.name;
+  }
+}
+
+TEST_F(TraceTest, FunctionalMeshRunEmitsPerCpeLanes) {
+  core::CompiledKernel kernel = compileDefault();
+  sunway::ArchConfig arch;
+  const std::int64_t m = 64, n = 64, k = 64;
+  std::vector<double> a(m * k, 1.0), b(k * n, 1.0), c(m * n, 0.0);
+  core::GemmProblem problem{m, n, k, 1};
+  core::runGemmFunctional(kernel, arch, problem, a, b, c);
+
+  const std::vector<TraceEvent> events = Tracer::global().snapshot();
+  std::set<std::int64_t> computeLanes;
+  std::set<std::string> categories;
+  for (const TraceEvent& e : events) {
+    if (e.pid != kMeshPid) continue;
+    if (e.phase == 'M' && e.name == "thread_name" &&
+        e.tid < kDmaLaneOffset)
+      computeLanes.insert(e.tid);
+    if (e.phase == 'X') categories.insert(e.category);
+  }
+  EXPECT_EQ(computeLanes.size(),
+            static_cast<std::size_t>(arch.meshSize()));
+  EXPECT_TRUE(categories.count("compute"));
+  EXPECT_TRUE(categories.count("dma"));
+  EXPECT_TRUE(categories.count("sync"));
+
+  // The whole trace must still be parseable.
+  const std::string json = Tracer::global().toJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid());
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer::global().disable();
+  Tracer::global().clear();
+  compileDefault();
+  EXPECT_EQ(Tracer::global().eventCount(), 0u);
+}
+
+}  // namespace
+}  // namespace sw::trace

@@ -1,16 +1,21 @@
 // swcodegen — the command-line compiler (§8): reads a naive C GEMM, emits
-// the athread CPE/MPE sources, and optionally dumps schedule trees or
-// estimates performance on the SW26010Pro model.
+// the athread CPE/MPE sources, and optionally dumps schedule trees,
+// estimates performance on the SW26010Pro model, profiles the compile
+// pipeline and run, or records a Perfetto-viewable trace.
 //
 //   swcodegen input.c [-o PREFIX] [--no-use-asm] [--no-rma] [--no-hiding]
 //             [--dump-schedule] [--estimate M N K [B]]
+//             [--profile] [--trace OUT.json]
 //
 // --batch is detected automatically from the input program (a 4-deep nest
 // over 3D arrays), as are the fusion patterns; the explicit flags mirror
 // the paper's tool for the ablation variants.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -18,15 +23,39 @@
 #include "core/compiler.h"
 #include "core/gemm_runner.h"
 #include "support/error.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace {
 
-void usage() {
+void usage(std::FILE* out) {
   std::fprintf(
-      stderr,
-      "usage: swcodegen INPUT.c [-o PREFIX] [--no-use-asm] [--no-rma]\n"
-      "                 [--no-hiding] [--dump-schedule]\n"
-      "                 [--estimate M N K [B]]\n");
+      out,
+      "usage: swcodegen INPUT.c [options]\n"
+      "\n"
+      "Compile a naive C GEMM into SW26010Pro athread sources.\n"
+      "\n"
+      "options:\n"
+      "  -o PREFIX          output file prefix (default: kernel name)\n"
+      "  --no-use-asm       emit the naive loop nest instead of the\n"
+      "                     vendor micro-kernel (Fig.13 '+asm' ablation)\n"
+      "  --no-rma           re-fetch tiles with DMA instead of RMA\n"
+      "                     broadcasts; implicitly disables latency hiding\n"
+      "  --no-hiding        disable the two-level software pipeline (§6)\n"
+      "  --dump-schedule    print the schedule tree after each stage\n"
+      "  --estimate M N K [B]\n"
+      "                     report modelled GFLOPS for the given shape\n"
+      "  --profile          print a per-stage compile breakdown and the\n"
+      "                     derived run metrics (overlap%%, stall%%, SPM)\n"
+      "  --trace OUT.json   write a Chrome trace-event file (open in\n"
+      "                     https://ui.perfetto.dev): compile spans plus\n"
+      "                     per-CPE simulated-clock timelines\n"
+      "  -h, --help         show this help and exit\n"
+      "\n"
+      "environment:\n"
+      "  SWCODEGEN_LOG      debug|info|warn — structured log threshold\n"
+      "  SWCODEGEN_TRACE    path — enable tracing and write there on exit\n");
 }
 
 std::string readFile(const std::string& path) {
@@ -43,46 +72,156 @@ void writeFile(const std::string& path, const std::string& body) {
   out << body;
 }
 
+std::vector<double> randomMatrix(std::int64_t count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> data(static_cast<std::size_t>(count));
+  for (double& v : data) v = dist(rng);
+  return data;
+}
+
+/// Smallest shape the kernel accepts unpadded: one mesh tile deep enough
+/// for a full pipeline round-trip.  Used to light up the 64 per-CPE trace
+/// lanes and the mesh-run metrics without a paper-scale functional run.
+sw::rt::RunOutcome runFunctionalSmoke(const sw::core::CompiledKernel& kernel,
+                                      const sw::sunway::ArchConfig& arch) {
+  const sw::core::PaddedShape shape =
+      sw::core::padShape(1, 1, 1, kernel.options, arch);
+  const std::int64_t batch = kernel.options.batched ? 2 : 1;
+  const std::int64_t m = shape.m, n = shape.n,
+                     k = 2 * shape.k;  // two outer-k iterations
+  std::vector<double> a = randomMatrix(batch * m * k, 1);
+  std::vector<double> b = randomMatrix(batch * k * n, 2);
+  std::vector<double> c = randomMatrix(batch * m * n, 3);
+  sw::core::GemmProblem problem{m, n, k, batch};
+  return sw::core::runGemmFunctional(kernel, arch, problem, a, b, c);
+}
+
+void printStageBreakdown() {
+  // Aggregate compile-category spans by name, in first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, double> totalMicros;
+  std::map<std::string, int> count;
+  for (const sw::trace::TraceEvent& e :
+       sw::trace::Tracer::global().snapshot()) {
+    if (e.phase != 'X' || e.category != "compile") continue;
+    if (totalMicros.find(e.name) == totalMicros.end()) order.push_back(e.name);
+    totalMicros[e.name] += e.durMicros;
+    ++count[e.name];
+  }
+  std::printf("compile pipeline breakdown (host wall-clock):\n");
+  std::printf("  %-28s %10s %6s\n", "stage", "ms", "calls");
+  for (const std::string& name : order)
+    std::printf("  %-28s %10.3f %6d\n", name.c_str(),
+                totalMicros[name] / 1e3, count[name]);
+  std::printf("\n");
+}
+
+void printRunMetrics(const char* title, const sw::rt::RunOutcome& outcome,
+                     const sw::sunway::ArchConfig& arch) {
+  const sw::metrics::DerivedRunMetrics& m = outcome.metrics;
+  std::printf("%s:\n", title);
+  std::printf("  %-24s %12.3f ms\n", "simulated time", outcome.seconds * 1e3);
+  std::printf("  %-24s %12.2f\n", "model GFLOPS", outcome.gflops);
+  std::printf("  %-24s %12.1f %%   (DMA+RMA busy time hidden "
+              "behind compute)\n",
+              "overlap", m.overlapPct);
+  std::printf("  %-24s %12.1f %%   (CPE active time lost to reply "
+              "waits)\n",
+              "stall", m.stallPct);
+  std::printf("  %-24s %12.1f %%\n", "compute occupancy", m.computePct);
+  std::printf("  %-24s %9.1f KB   of %.0f KB budget (%.1f%%)\n",
+              "SPM high-water",
+              static_cast<double>(m.spmHighWaterBytes) / 1024.0,
+              static_cast<double>(m.spmBudgetBytes) / 1024.0,
+              m.spmBudgetPct);
+  for (const auto& [set, bytes] : m.perBufferBytes)
+    std::printf("    buffer %-18s %9.1f KB\n", set.c_str(),
+                static_cast<double>(bytes) / 1024.0);
+  std::printf("  %-24s %12lld\n", "DMA messages",
+              static_cast<long long>(outcome.counters.dmaMessages));
+  std::printf("  %-24s %12lld\n", "RMA broadcasts",
+              static_cast<long long>(outcome.counters.rmaBroadcastsSent));
+  std::printf("  %-24s %12lld\n", "mesh barriers",
+              static_cast<long long>(outcome.counters.syncs));
+  (void)arch;
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string inputPath;
   std::string outputPrefix;
+  std::string tracePath;
   bool dumpSchedule = false;
+  bool profile = false;
+  bool noRma = false;
+  bool noHiding = false;
   std::vector<long> estimate;
   sw::core::CodegenOptions options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "-o" && i + 1 < argc) {
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "-o") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "swcodegen: -o requires an output prefix\n");
+        return 2;
+      }
       outputPrefix = argv[++i];
     } else if (arg == "--no-use-asm") {
       options.useAsm = false;
     } else if (arg == "--no-rma") {
+      noRma = true;
       options.useRma = false;
       options.hideLatency = false;
     } else if (arg == "--no-hiding") {
+      noHiding = true;
       options.hideLatency = false;
     } else if (arg == "--dump-schedule") {
       dumpSchedule = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "swcodegen: --trace requires an output path\n");
+        return 2;
+      }
+      tracePath = argv[++i];
     } else if (arg == "--estimate") {
       while (i + 1 < argc && argv[i + 1][0] != '-')
         estimate.push_back(std::strtol(argv[++i], nullptr, 10));
       if (estimate.size() != 3 && estimate.size() != 4) {
-        usage();
+        usage(stderr);
         return 2;
       }
     } else if (!arg.empty() && arg[0] != '-' && inputPath.empty()) {
       inputPath = arg;
     } else {
-      usage();
+      std::fprintf(stderr, "swcodegen: unknown argument '%s'\n\n",
+                   arg.c_str());
+      usage(stderr);
       return 2;
     }
   }
   if (inputPath.empty()) {
-    usage();
+    usage(stderr);
     return 2;
   }
+
+  // The CLI surfaces warnings by default; an explicit $SWCODEGEN_LOG still
+  // selects the threshold (including a quieter one).
+  if (!sw::logLevelFromEnv()) sw::setLogLevel(sw::LogLevel::kWarn);
+  if (noRma && !noHiding)
+    SW_WARN("cli",
+            "event=implicit_option msg=\"--no-rma implicitly disables "
+            "memory latency hiding: the two-level pipeline of §6 requires "
+            "the RMA decomposition (pass --no-hiding to silence this)\"");
+
+  if (!tracePath.empty() || profile) sw::trace::Tracer::global().enable();
 
   try {
     sw::core::SwGemmCompiler compiler;
@@ -109,21 +248,57 @@ int main(int argc, char** argv) {
                     ? ", fused"
                     : "");
 
+    sw::rt::RunOutcome estimated;
     if (!estimate.empty()) {
       sw::core::GemmProblem problem{estimate[0], estimate[1], estimate[2],
                                     estimate.size() == 4 ? estimate[3] : 1};
-      sw::rt::RunOutcome outcome =
-          sw::core::estimateGemm(kernel, compiler.arch(), problem);
+      estimated = sw::core::estimateGemm(kernel, compiler.arch(), problem);
       std::printf("estimated %ldx%ldx%ld%s: %.2f GFLOPS (%.1f%% of model "
                   "peak), %.3f ms\n",
                   estimate[0], estimate[1], estimate[2],
                   estimate.size() == 4
                       ? (" batch " + std::to_string(estimate[3])).c_str()
                       : "",
-                  outcome.gflops,
-                  100.0 * outcome.gflops /
+                  estimated.gflops,
+                  100.0 * estimated.gflops /
                       (compiler.arch().peakFlops() / 1e9),
-                  outcome.seconds * 1e3);
+                  estimated.seconds * 1e3);
+    }
+
+    // A functional mesh run lights up the 64 per-CPE trace lanes and the
+    // threaded-runtime metrics.
+    sw::rt::RunOutcome smoke;
+    const bool wantSmoke = !tracePath.empty() || profile;
+    if (wantSmoke) smoke = runFunctionalSmoke(kernel, compiler.arch());
+
+    if (profile) {
+      std::printf("\n");
+      printStageBreakdown();
+      if (!estimate.empty())
+        printRunMetrics("estimated run metrics (symmetric model)", estimated,
+                        compiler.arch());
+      if (wantSmoke)
+        printRunMetrics("functional mesh smoke run (one mesh tile, 64 CPEs)",
+                        smoke, compiler.arch());
+      std::printf("metrics registry:\n");
+      for (const auto& [name, value] :
+           sw::metrics::MetricsRegistry::global().snapshot())
+        std::printf("  %-44s %g\n", name.c_str(), value);
+      std::printf("\n");
+    }
+
+    if (tracePath.empty()) {
+      // SWCODEGEN_TRACE=path enables collection library-wide; honour it as
+      // the output location when --trace was not given.
+      const char* env = std::getenv("SWCODEGEN_TRACE");
+      if (env != nullptr && env[0] != '\0') tracePath = env;
+    }
+    if (!tracePath.empty()) {
+      sw::trace::Tracer::global().writeFile(tracePath);
+      std::printf("wrote trace to %s (%zu events; open in "
+                  "https://ui.perfetto.dev)\n",
+                  tracePath.c_str(),
+                  sw::trace::Tracer::global().eventCount());
     }
   } catch (const sw::Error& e) {
     std::fprintf(stderr, "swcodegen: error: %s\n", e.what());
