@@ -1,0 +1,537 @@
+#include "core/kernel_serdes.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::core {
+
+namespace {
+
+// --- token stream -------------------------------------------------------
+// Tokens are separated by single spaces.  Integers are decimal; strings are
+// length-prefixed ("<len>:<raw bytes>") so sources and tree dumps embed
+// verbatim; doubles render with %.17g (round-trip exact for IEEE doubles).
+
+class Writer {
+ public:
+  void tag(std::string_view t) {
+    out_ += t;
+    out_ += ' ';
+  }
+  void num(std::int64_t v) {
+    out_ += std::to_string(v);
+    out_ += ' ';
+  }
+  void boolean(bool v) { num(v ? 1 : 0); }
+  void real(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    out_ += ' ';
+  }
+  void str(std::string_view s) {
+    out_ += std::to_string(s.size());
+    out_ += ':';
+    out_.append(s.data(), s.size());
+    out_ += ' ';
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  void expectTag(std::string_view t) {
+    const std::string_view got = nextToken();
+    if (got != t)
+      throwCorrupt(strCat("expected tag '", t, "', got '", got, "'"));
+  }
+
+  std::int64_t num() {
+    const std::string_view t = nextToken();
+    errno = 0;
+    char* end = nullptr;
+    const std::string copy(t);  // strtoll needs a terminator
+    const long long v = std::strtoll(copy.c_str(), &end, 10);
+    if (end != copy.c_str() + copy.size() || errno == ERANGE)
+      throwCorrupt(strCat("bad integer token '", copy, "'"));
+    return v;
+  }
+
+  bool boolean() {
+    const std::int64_t v = num();
+    if (v != 0 && v != 1) throwCorrupt(strCat("bad boolean value ", v));
+    return v == 1;
+  }
+
+  std::string str() {
+    skipSpaces();
+    const std::size_t colon = text_.find(':', pos_);
+    if (colon == std::string::npos)
+      throwCorrupt("string token missing length prefix");
+    errno = 0;
+    char* end = nullptr;
+    const std::string lenText = text_.substr(pos_, colon - pos_);
+    const long long len = std::strtoll(lenText.c_str(), &end, 10);
+    if (end != lenText.c_str() + lenText.size() || len < 0 ||
+        errno == ERANGE)
+      throwCorrupt(strCat("bad string length '", lenText, "'"));
+    pos_ = colon + 1;
+    if (pos_ + static_cast<std::size_t>(len) > text_.size())
+      throwCorrupt("string token truncated");
+    std::string out = text_.substr(pos_, static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return out;
+  }
+
+  [[nodiscard]] bool atEnd() {
+    skipSpaces();
+    return pos_ >= text_.size();
+  }
+
+  [[noreturn]] void throwCorrupt(const std::string& why) const {
+    throwInput(strCat("corrupt serialized kernel at byte ", pos_, ": ", why));
+  }
+
+ private:
+  void skipSpaces() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n'))
+      ++pos_;
+  }
+
+  std::string_view nextToken() {
+    skipSpaces();
+    std::size_t end = pos_;
+    while (end < text_.size() && text_[end] != ' ' && text_[end] != '\n')
+      ++end;
+    if (end == pos_) throwCorrupt("unexpected end of stream");
+    const std::string_view token(text_.data() + pos_, end - pos_);
+    pos_ = end;
+    return token;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- field serializers, one writer/reader pair per struct ---------------
+
+void writeAffine(Writer& w, const poly::AffineExpr& e) {
+  w.num(e.constantTerm());
+  const auto& coeffs = e.coefficients();  // std::map: sorted, stable
+  w.num(static_cast<std::int64_t>(coeffs.size()));
+  for (const auto& [dim, coeff] : coeffs) {
+    w.str(dim);
+    w.num(coeff);
+  }
+  const auto& divs = e.floorDivTerms();
+  w.num(static_cast<std::int64_t>(divs.size()));
+  for (const poly::FloorDivTerm& d : divs) {
+    w.num(d.coeff);
+    w.num(d.denominator);
+    writeAffine(w, *d.numerator);
+  }
+}
+
+poly::AffineExpr readAffine(Reader& r) {
+  poly::AffineExpr e = poly::AffineExpr::constant(r.num());
+  const std::int64_t coeffCount = r.num();
+  for (std::int64_t i = 0; i < coeffCount; ++i) {
+    const std::string dim = r.str();
+    const std::int64_t coeff = r.num();
+    e = e + poly::AffineExpr::dim(dim) * coeff;
+  }
+  const std::int64_t divCount = r.num();
+  for (std::int64_t i = 0; i < divCount; ++i) {
+    const std::int64_t coeff = r.num();
+    const std::int64_t denominator = r.num();
+    const poly::AffineExpr numerator = readAffine(r);
+    e = e + poly::AffineExpr::floorDiv(numerator, denominator) * coeff;
+  }
+  return e;
+}
+
+void writeExtent(Writer& w, const sched::Extent& e) {
+  w.num(e.constantPart());
+  w.boolean(e.param().has_value());
+  if (e.param().has_value()) {
+    w.str(*e.param());
+    w.num(e.divisor());
+  }
+}
+
+sched::Extent readExtent(Reader& r) {
+  const std::int64_t constant = r.num();
+  if (!r.boolean()) return sched::Extent::constant(constant);
+  const std::string param = r.str();
+  const std::int64_t divisor = r.num();
+  return sched::Extent::paramDiv(param, divisor).plus(constant);
+}
+
+void writeBufferRef(Writer& w, const sched::SpmBufferRef& b) {
+  w.str(b.set);
+  w.boolean(b.phaseVar.has_value());
+  if (b.phaseVar.has_value()) w.str(*b.phaseVar);
+  w.num(b.phaseOffset);
+}
+
+sched::SpmBufferRef readBufferRef(Reader& r) {
+  sched::SpmBufferRef b;
+  b.set = r.str();
+  if (r.boolean()) b.phaseVar = r.str();
+  b.phaseOffset = r.num();
+  return b;
+}
+
+void writeCopyStmt(Writer& w, const sched::CopyStmt& s) {
+  w.str(s.name);
+  w.num(static_cast<std::int64_t>(s.kind));
+  w.str(s.array);
+  writeBufferRef(w, s.buffer);
+  w.boolean(s.batchIndex.has_value());
+  if (s.batchIndex.has_value()) writeAffine(w, *s.batchIndex);
+  writeAffine(w, s.rowStart);
+  writeAffine(w, s.colStart);
+  w.str(s.rowsParam);
+  w.str(s.colsParam);
+  w.num(s.tileRows);
+  w.num(s.tileCols);
+  w.boolean(s.senderGuard.has_value());
+  if (s.senderGuard.has_value()) {
+    w.str(s.senderGuard->meshVar);
+    writeAffine(w, s.senderGuard->equals);
+  }
+  writeBufferRef(w, s.rmaSource);
+  w.str(s.replySlot);
+}
+
+sched::CopyStmt readCopyStmt(Reader& r) {
+  sched::CopyStmt s;
+  s.name = r.str();
+  const std::int64_t kind = r.num();
+  if (kind < 0 || kind > static_cast<std::int64_t>(sched::CopyKind::kRmaColBcast))
+    r.throwCorrupt(strCat("bad CopyKind ", kind));
+  s.kind = static_cast<sched::CopyKind>(kind);
+  s.array = r.str();
+  s.buffer = readBufferRef(r);
+  if (r.boolean()) s.batchIndex = readAffine(r);
+  s.rowStart = readAffine(r);
+  s.colStart = readAffine(r);
+  s.rowsParam = r.str();
+  s.colsParam = r.str();
+  s.tileRows = r.num();
+  s.tileCols = r.num();
+  if (r.boolean()) {
+    sched::SenderGuard guard;
+    guard.meshVar = r.str();
+    guard.equals = readAffine(r);
+    s.senderGuard = std::move(guard);
+  }
+  s.rmaSource = readBufferRef(r);
+  s.replySlot = r.str();
+  return s;
+}
+
+void writeComputeInfo(Writer& w, const sched::ComputeMarkInfo& c) {
+  w.num(static_cast<std::int64_t>(c.kind));
+  writeBufferRef(w, c.a);
+  writeBufferRef(w, c.b);
+  writeBufferRef(w, c.c);
+  w.num(c.m);
+  w.num(c.n);
+  w.num(c.k);
+}
+
+sched::ComputeMarkInfo readComputeInfo(Reader& r) {
+  sched::ComputeMarkInfo c;
+  const std::int64_t kind = r.num();
+  if (kind < 0 || kind > 1) r.throwCorrupt(strCat("bad compute kind ", kind));
+  c.kind = static_cast<sched::ComputeMarkInfo::Kind>(kind);
+  c.a = readBufferRef(r);
+  c.b = readBufferRef(r);
+  c.c = readBufferRef(r);
+  c.m = r.num();
+  c.n = r.num();
+  c.k = r.num();
+  return c;
+}
+
+void writeElementwiseInfo(Writer& w, const sched::ElementwiseMarkInfo& e) {
+  w.num(static_cast<std::int64_t>(e.op));
+  writeBufferRef(w, e.target);
+  w.num(e.rows);
+  w.num(e.cols);
+  w.boolean(e.source.has_value());
+  if (e.source.has_value()) writeBufferRef(w, *e.source);
+  w.str(e.statement);
+}
+
+sched::ElementwiseMarkInfo readElementwiseInfo(Reader& r) {
+  sched::ElementwiseMarkInfo e;
+  const std::int64_t op = r.num();
+  if (op < 0 ||
+      op > static_cast<std::int64_t>(sched::ElementwiseMarkInfo::Op::kTranspose))
+    r.throwCorrupt(strCat("bad elementwise op ", op));
+  e.op = static_cast<sched::ElementwiseMarkInfo::Op>(op);
+  e.target = readBufferRef(r);
+  e.rows = r.num();
+  e.cols = r.num();
+  if (r.boolean()) e.source = readBufferRef(r);
+  e.statement = r.str();
+  return e;
+}
+
+void writeOps(Writer& w, const codegen::OpList& ops);
+codegen::OpList readOps(Reader& r);
+
+void writeOp(Writer& w, const codegen::Op& op) {
+  w.num(static_cast<std::int64_t>(op.v.index()));
+  if (const auto* loop = std::get_if<codegen::LoopOp>(&op.v)) {
+    w.str(loop->var);
+    writeExtent(w, loop->begin);
+    writeExtent(w, loop->end);
+    writeOps(w, loop->body);
+  } else if (const auto* assign = std::get_if<codegen::AssignOp>(&op.v)) {
+    w.str(assign->var);
+    writeExtent(w, assign->value);
+    writeOps(w, assign->body);
+  } else if (const auto* dma = std::get_if<codegen::DmaOp>(&op.v)) {
+    writeCopyStmt(w, dma->stmt);
+  } else if (const auto* rma = std::get_if<codegen::RmaOp>(&op.v)) {
+    writeCopyStmt(w, rma->stmt);
+  } else if (const auto* wait = std::get_if<codegen::WaitOp>(&op.v)) {
+    w.str(wait->slot);
+    w.boolean(wait->isRma);
+    w.boolean(wait->isRowBroadcast);
+  } else if (std::get_if<codegen::SyncOp>(&op.v) != nullptr) {
+    // no payload
+  } else if (const auto* compute = std::get_if<codegen::ComputeOp>(&op.v)) {
+    writeComputeInfo(w, compute->info);
+  } else if (const auto* ew = std::get_if<codegen::ElementwiseOp>(&op.v)) {
+    writeElementwiseInfo(w, ew->info);
+  } else {
+    SW_UNREACHABLE("unhandled Op variant in serializer");
+  }
+}
+
+codegen::Op readOp(Reader& r) {
+  codegen::Op op;
+  const std::int64_t index = r.num();
+  switch (index) {
+    case 0: {
+      codegen::LoopOp loop;
+      loop.var = r.str();
+      loop.begin = readExtent(r);
+      loop.end = readExtent(r);
+      loop.body = readOps(r);
+      op.v = std::move(loop);
+      break;
+    }
+    case 1: {
+      codegen::AssignOp assign;
+      assign.var = r.str();
+      assign.value = readExtent(r);
+      assign.body = readOps(r);
+      op.v = std::move(assign);
+      break;
+    }
+    case 2:
+      op.v = codegen::DmaOp{readCopyStmt(r)};
+      break;
+    case 3:
+      op.v = codegen::RmaOp{readCopyStmt(r)};
+      break;
+    case 4: {
+      codegen::WaitOp wait;
+      wait.slot = r.str();
+      wait.isRma = r.boolean();
+      wait.isRowBroadcast = r.boolean();
+      op.v = std::move(wait);
+      break;
+    }
+    case 5:
+      op.v = codegen::SyncOp{};
+      break;
+    case 6:
+      op.v = codegen::ComputeOp{readComputeInfo(r)};
+      break;
+    case 7:
+      op.v = codegen::ElementwiseOp{readElementwiseInfo(r)};
+      break;
+    default:
+      r.throwCorrupt(strCat("bad op tag ", index));
+  }
+  return op;
+}
+
+void writeOps(Writer& w, const codegen::OpList& ops) {
+  w.num(static_cast<std::int64_t>(ops.size()));
+  for (const codegen::Op& op : ops) writeOp(w, op);
+}
+
+codegen::OpList readOps(Reader& r) {
+  const std::int64_t count = r.num();
+  if (count < 0) r.throwCorrupt(strCat("bad op count ", count));
+  codegen::OpList ops;
+  ops.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) ops.push_back(readOp(r));
+  return ops;
+}
+
+void writeOptions(Writer& w, const CodegenOptions& o) {
+  w.boolean(o.useAsm);
+  w.boolean(o.useRma);
+  w.boolean(o.hideLatency);
+  w.boolean(o.batched);
+  w.num(static_cast<std::int64_t>(o.fusion));
+  w.boolean(o.transposeA);
+  w.boolean(o.transposeB);
+  w.num(o.tileM);
+  w.num(o.tileN);
+  w.num(o.tileK);
+  w.num(o.stripFactor);
+}
+
+CodegenOptions readOptions(Reader& r) {
+  CodegenOptions o;
+  o.useAsm = r.boolean();
+  o.useRma = r.boolean();
+  o.hideLatency = r.boolean();
+  o.batched = r.boolean();
+  const std::int64_t fusion = r.num();
+  if (fusion < 0 || fusion > static_cast<std::int64_t>(FusionKind::kEpilogueRelu))
+    r.throwCorrupt(strCat("bad fusion kind ", fusion));
+  o.fusion = static_cast<FusionKind>(fusion);
+  o.transposeA = r.boolean();
+  o.transposeB = r.boolean();
+  o.tileM = r.num();
+  o.tileN = r.num();
+  o.tileK = r.num();
+  o.stripFactor = r.num();
+  return o;
+}
+
+void writeProgram(Writer& w, const codegen::KernelProgram& p) {
+  w.str(p.name);
+  w.num(static_cast<std::int64_t>(p.params.size()));
+  for (const std::string& param : p.params) w.str(param);
+  w.num(static_cast<std::int64_t>(p.arrays.size()));
+  for (const codegen::ArrayInfo& a : p.arrays) {
+    w.str(a.name);
+    w.str(a.batchParam);
+    w.str(a.rowsParam);
+    w.str(a.colsParam);
+  }
+  w.num(static_cast<std::int64_t>(p.buffers.size()));
+  for (const codegen::SpmBufferDecl& b : p.buffers) {
+    w.str(b.set);
+    w.num(b.rows);
+    w.num(b.cols);
+    w.num(b.phases);
+    w.num(b.spmOffsetBytes);
+  }
+  writeOps(w, p.body);
+}
+
+codegen::KernelProgram readProgram(Reader& r) {
+  codegen::KernelProgram p;
+  p.name = r.str();
+  const std::int64_t paramCount = r.num();
+  for (std::int64_t i = 0; i < paramCount; ++i) p.params.push_back(r.str());
+  const std::int64_t arrayCount = r.num();
+  for (std::int64_t i = 0; i < arrayCount; ++i) {
+    codegen::ArrayInfo a;
+    a.name = r.str();
+    a.batchParam = r.str();
+    a.rowsParam = r.str();
+    a.colsParam = r.str();
+    p.arrays.push_back(std::move(a));
+  }
+  const std::int64_t bufferCount = r.num();
+  for (std::int64_t i = 0; i < bufferCount; ++i) {
+    codegen::SpmBufferDecl b;
+    b.set = r.str();
+    b.rows = r.num();
+    b.cols = r.num();
+    b.phases = static_cast<int>(r.num());
+    b.spmOffsetBytes = r.num();
+    p.buffers.push_back(std::move(b));
+  }
+  p.body = readOps(r);
+  return p;
+}
+
+}  // namespace
+
+std::string serializeCompiledKernel(const CompiledKernel& kernel) {
+  Writer w;
+  w.tag("swkernel");
+  w.num(kKernelSerdesVersion);
+  writeOptions(w, kernel.options);
+  writeProgram(w, kernel.program);
+  w.str(kernel.cpeSource);
+  w.str(kernel.mpeSource);
+  w.str(kernel.initialTreeDump);
+  w.str(kernel.tiledTreeDump);
+  w.str(kernel.finalTreeDump);
+  w.tag("end");
+  return w.take();
+}
+
+CompiledKernel deserializeCompiledKernel(const std::string& text) {
+  Reader r(text);
+  r.expectTag("swkernel");
+  const std::int64_t version = r.num();
+  if (version != kKernelSerdesVersion)
+    throwInput(strCat("serialized kernel version ", version,
+                      " does not match current version ",
+                      kKernelSerdesVersion));
+  CompiledKernel kernel;
+  kernel.options = readOptions(r);
+  kernel.program = readProgram(r);
+  kernel.cpeSource = r.str();
+  kernel.mpeSource = r.str();
+  kernel.initialTreeDump = r.str();
+  kernel.tiledTreeDump = r.str();
+  kernel.finalTreeDump = r.str();
+  r.expectTag("end");
+  if (!r.atEnd()) r.throwCorrupt("trailing bytes after kernel");
+  return kernel;
+}
+
+std::string canonicalRequestKey(const CodegenOptions& options,
+                                const sunway::ArchConfig& arch) {
+  Writer w;
+  w.tag("swkey");
+  w.num(kKernelSerdesVersion);
+  writeOptions(w, options);
+  w.num(arch.meshRows);
+  w.num(arch.meshCols);
+  w.num(arch.spmBytes);
+  w.real(arch.cpeFrequencyHz);
+  w.real(arch.cpeFlopsPerCycle);
+  w.real(arch.asmKernelEfficiency);
+  w.real(arch.naiveFlopsPerCycle);
+  w.real(arch.elementwiseFlopsPerCycle);
+  w.real(arch.ddrBandwidthBytesPerSec);
+  w.real(arch.dmaStartupSeconds);
+  w.real(arch.dmaStridePenaltySecondsPerRow);
+  w.real(arch.rmaBandwidthBytesPerSec);
+  w.real(arch.rmaStartupSeconds);
+  w.real(arch.syncSeconds);
+  w.real(arch.spawnOverheadSeconds);
+  w.real(arch.mpeFlopsPerCycle);
+  w.real(arch.mpeFrequencyHz);
+  w.real(arch.mpeMemBandwidthBytesPerSec);
+  return w.take();
+}
+
+}  // namespace sw::core

@@ -1,0 +1,40 @@
+// Deterministic serialization of CompiledKernel, and the canonical cache
+// key of a compile request.
+//
+// The kernel-compilation service (src/service) persists compiled kernels
+// on disk and replays them in later processes, so the format must be
+// byte-stable: serializing the same kernel always yields the same bytes,
+// and serialize→deserialize→serialize is the identity.  The format is a
+// versioned, tagged token stream (integers, length-prefixed strings) with
+// no pointers, timestamps or locale-dependent rendering.
+#pragma once
+
+#include <string>
+
+#include "core/compiler.h"
+
+namespace sw::core {
+
+/// Bumped whenever the serialized layout of CompiledKernel (or anything it
+/// embeds) changes; readers reject other versions so a stale disk cache is
+/// recompiled instead of misparsed.
+inline constexpr int kKernelSerdesVersion = 1;
+
+/// Serialize the whole kernel: options, the executable program AST, the
+/// generated CPE/MPE sources and the three schedule-tree dumps.
+[[nodiscard]] std::string serializeCompiledKernel(const CompiledKernel& kernel);
+
+/// Inverse of serializeCompiledKernel.  Throws InputError on truncation,
+/// corruption or a version mismatch.
+[[nodiscard]] CompiledKernel deserializeCompiledKernel(const std::string& text);
+
+/// Canonical, byte-stable rendering of everything a compile's output
+/// depends on: every CodegenOptions field plus every ArchConfig field,
+/// prefixed with the serdes version.  Two requests with equal keys are
+/// guaranteed to produce byte-identical kernels (see
+/// tests/compile_determinism_test.cc); the service digests this string for
+/// cache addressing and stores it verbatim for collision checks.
+[[nodiscard]] std::string canonicalRequestKey(const CodegenOptions& options,
+                                              const sunway::ArchConfig& arch);
+
+}  // namespace sw::core

@@ -1,0 +1,442 @@
+#include "service/kernel_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "codegen/athread_printer.h"
+#include "core/kernel_serdes.h"
+#include "frontend/pattern.h"
+#include "support/digest.h"
+#include "support/error.h"
+#include "support/format.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace sw::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Disk-entry magic; the directory name carries the serdes version, the
+/// magic guards against foreign files landing in the cache directory.
+constexpr std::string_view kDiskMagic = "swkcache1 ";
+
+std::string versionDirName() {
+  return strCat("v", core::kKernelSerdesVersion);
+}
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* toString(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kMemoryHit: return "memory_hit";
+    case ServeOutcome::kDiskHit: return "disk_hit";
+    case ServeOutcome::kCompiled: return "compile";
+    case ServeOutcome::kShared: return "shared";
+  }
+  return "unknown";
+}
+
+KernelService::KernelService(sunway::ArchConfig arch,
+                             KernelServiceConfig config)
+    : KernelService(
+          [archCopy = arch](const core::CodegenOptions& options) {
+            return core::SwGemmCompiler(archCopy).compile(options);
+          },
+          arch, std::move(config)) {}
+
+KernelService::KernelService(CompileFn compileFn, sunway::ArchConfig arch,
+                             KernelServiceConfig config)
+    : compileFn_(std::move(compileFn)),
+      arch_(arch),
+      config_(std::move(config)) {}
+
+KernelService::KernelPtr KernelService::compile(
+    const core::CodegenOptions& options) {
+  ServeOutcome outcome;
+  return compile(options, &outcome);
+}
+
+KernelService::KernelPtr KernelService::compile(
+    const core::CodegenOptions& options, ServeOutcome* outcome) {
+  const std::string key = core::canonicalRequestKey(options, arch_);
+  trace::Span span("service.request",
+                   {trace::arg("key", digestHex(fnv1a64(key)))});
+  KernelPtr kernel = serve(key, options, outcome);
+  span.addArg(trace::arg("outcome", toString(*outcome)));
+  return kernel;
+}
+
+KernelService::KernelPtr KernelService::serve(
+    const std::string& key, const core::CodegenOptions& options,
+    ServeOutcome* outcome) {
+  std::promise<KernelPtr> promise;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    if (auto it = index_.find(key); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.memoryHits;
+      *outcome = ServeOutcome::kMemoryHit;
+      publishGaugesLocked();
+      return it->second->kernel;
+    }
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+      ++stats_.shared;
+      *outcome = ServeOutcome::kShared;
+      publishGaugesLocked();
+      std::shared_future<KernelPtr> future = it->second;
+      lock.unlock();
+      return future.get();  // rethrows the leader's failure, if any
+    }
+    inflight_.emplace(key, promise.get_future().share());
+  }
+
+  // Leader path: this thread owns the (single) compile for the key.
+  try {
+    KernelPtr kernel = produce(key, options, outcome);
+    promise.set_value(kernel);
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+    publishGaugesLocked();
+    return kernel;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+    publishGaugesLocked();
+    throw;
+  }
+}
+
+KernelService::KernelPtr KernelService::produce(
+    const std::string& key, const core::CodegenOptions& options,
+    ServeOutcome* outcome) {
+  std::int64_t bytes = 0;
+  if (KernelPtr fromDisk = tryLoadFromDisk(key, &bytes)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.diskHits;
+    admitLocked(key, fromDisk, bytes);
+    *outcome = ServeOutcome::kDiskHit;
+    return fromDisk;
+  }
+
+  auto kernel =
+      std::make_shared<const core::CompiledKernel>(compileFn_(options));
+  const std::string serialized = serializeCompiledKernel(*kernel);
+  storeToDisk(key, serialized);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.compiles;
+  admitLocked(key, kernel, static_cast<std::int64_t>(serialized.size()));
+  *outcome = ServeOutcome::kCompiled;
+  return kernel;
+}
+
+void KernelService::admitLocked(const std::string& key,
+                                const KernelPtr& kernel, std::int64_t bytes) {
+  lru_.push_front(Entry{key, kernel, bytes});
+  index_[key] = lru_.begin();
+  stats_.bytes += bytes;
+  while (lru_.size() > 1 &&
+         (lru_.size() > config_.maxEntries || stats_.bytes > config_.maxBytes)) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    ++stats_.evictions;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+  stats_.entries = lru_.size();
+}
+
+void KernelService::publishGaugesLocked() const {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::global();
+  registry.set("service.cache.requests",
+               static_cast<double>(stats_.requests));
+  registry.set("service.cache.memory_hits",
+               static_cast<double>(stats_.memoryHits));
+  registry.set("service.cache.disk_hits",
+               static_cast<double>(stats_.diskHits));
+  registry.set("service.cache.compiles",
+               static_cast<double>(stats_.compiles));
+  registry.set("service.cache.shared", static_cast<double>(stats_.shared));
+  registry.set("service.cache.evictions",
+               static_cast<double>(stats_.evictions));
+  registry.set("service.cache.corrupt_disk_entries",
+               static_cast<double>(stats_.corruptDiskEntries));
+  registry.set("service.cache.entries", static_cast<double>(stats_.entries));
+  registry.set("service.cache.bytes", static_cast<double>(stats_.bytes));
+  registry.set("service.cache.hit_rate", stats_.hitRate());
+}
+
+std::string KernelService::diskPathForKey(
+    const std::string& canonicalKey) const {
+  if (config_.cacheDir.empty()) return {};
+  return (fs::path(config_.cacheDir) / versionDirName() /
+          (digestHex(fnv1a64(canonicalKey)) + ".swk"))
+      .string();
+}
+
+KernelService::KernelPtr KernelService::tryLoadFromDisk(
+    const std::string& key, std::int64_t* bytes) {
+  const std::string path = diskPathForKey(key);
+  if (path.empty()) return nullptr;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;  // plain miss
+  std::ostringstream body;
+  body << in.rdbuf();
+  const std::string content = body.str();
+
+  try {
+    if (content.compare(0, kDiskMagic.size(), kDiskMagic) != 0)
+      throwInput("bad cache-entry magic");
+    std::size_t pos = kDiskMagic.size();
+    const std::size_t colon = content.find(':', pos);
+    if (colon == std::string::npos)
+      throwInput("cache entry missing key length");
+    const std::string lenText = content.substr(pos, colon - pos);
+    char* end = nullptr;
+    const long long keyLen = std::strtoll(lenText.c_str(), &end, 10);
+    if (end != lenText.c_str() + lenText.size() || keyLen < 0 ||
+        colon + 1 + static_cast<std::size_t>(keyLen) > content.size())
+      throwInput("cache entry key truncated");
+    const std::string storedKey =
+        content.substr(colon + 1, static_cast<std::size_t>(keyLen));
+    if (storedKey != key)
+      throwInput("cache entry key mismatch (digest collision or stale file)");
+    const std::string serialized =
+        content.substr(colon + 1 + static_cast<std::size_t>(keyLen));
+    *bytes = static_cast<std::int64_t>(serialized.size());
+    return std::make_shared<const core::CompiledKernel>(
+        core::deserializeCompiledKernel(serialized));
+  } catch (const Error& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.corruptDiskEntries;
+    }
+    SW_WARN("service",
+            "event=cache_entry_corrupt path=", path,
+            " action=recompile error=\"", e.what(), "\"");
+    std::error_code ec;
+    fs::remove(path, ec);  // best effort; the rewrite overwrites anyway
+    return nullptr;
+  }
+}
+
+void KernelService::storeToDisk(const std::string& key,
+                                const std::string& serialized) {
+  const std::string path = diskPathForKey(key);
+  if (path.empty()) return;
+  try {
+    fs::create_directories(fs::path(path).parent_path());
+    // Atomic publish: write the full entry to a per-thread temp name in
+    // the same directory, then rename over the final path.  Readers never
+    // observe a partial file.
+    static std::atomic<std::uint64_t> tmpCounter{0};
+    const std::string tmpPath =
+        strCat(path, ".tmp.", tmpCounter.fetch_add(1));
+    {
+      std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+      if (!out) throwInput(strCat("cannot open '", tmpPath, "'"));
+      out << kDiskMagic << key.size() << ':' << key << serialized;
+      out.flush();
+      if (!out) throwInput(strCat("short write to '", tmpPath, "'"));
+    }
+    fs::rename(tmpPath, path);
+    SW_DEBUG("service", "event=cache_entry_stored path=", path,
+             " bytes=", serialized.size());
+  } catch (const std::exception& e) {
+    // A failed store degrades to a cold cache, never a failed request.
+    SW_WARN("service", "event=cache_store_failed path=", path,
+            " error=\"", e.what(), "\"");
+  }
+}
+
+core::CompiledKernel KernelService::compileSource(const std::string& source,
+                                                  core::CodegenOptions base,
+                                                  ServeOutcome* outcome) {
+  frontend::GemmPatternInfo pattern;
+  {
+    trace::Span span("frontend.parse",
+                     {trace::arg("sourceBytes",
+                                 static_cast<std::int64_t>(source.size()))});
+    pattern = frontend::analyzeGemmSource(source);
+  }
+  base.batched = pattern.batched;
+  base.transposeA = pattern.transposeA;
+  base.transposeB = pattern.transposeB;
+  switch (pattern.fusion) {
+    case frontend::FusionPattern::kNone:
+      base.fusion = core::FusionKind::kNone;
+      break;
+    case frontend::FusionPattern::kPrologueQuantize:
+      base.fusion = core::FusionKind::kPrologueQuantize;
+      break;
+    case frontend::FusionPattern::kEpilogueRelu:
+      base.fusion = core::FusionKind::kEpilogueRelu;
+      break;
+  }
+  ServeOutcome localOutcome;
+  KernelPtr cached = compile(base, &localOutcome);
+  if (outcome != nullptr) *outcome = localOutcome;
+  // The cache stores the canonical kernel; rename to the user's function
+  // and re-print the sources under that name (printing is cheap relative
+  // to the pipeline).
+  core::CompiledKernel kernel = *cached;
+  kernel.program.name = pattern.functionName;
+  codegen::GeneratedSources sources =
+      codegen::printAthreadSources(kernel.program);
+  kernel.cpeSource = std::move(sources.cpe);
+  kernel.mpeSource = std::move(sources.mpe);
+  return kernel;
+}
+
+std::vector<KernelService::BatchResult> KernelService::compileBatch(
+    const std::vector<core::CodegenOptions>& requests) {
+  std::vector<BatchResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  int threads = config_.threads;
+  if (threads <= 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 0) threads = 4;
+  const std::size_t workerCount =
+      std::min<std::size_t>(static_cast<std::size_t>(threads),
+                            requests.size());
+
+  std::atomic<std::size_t> nextRequest{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = nextRequest.fetch_add(1);
+      if (i >= requests.size()) return;
+      BatchResult& result = results[i];
+      result.options = requests[i];
+      const double start = nowSeconds();
+      try {
+        result.kernel = compile(requests[i], &result.outcome);
+      } catch (const Error& e) {
+        result.error = e.what();
+      }
+      result.latencySeconds = nowSeconds() - start;
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workerCount);
+  for (std::size_t i = 0; i < workerCount; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+KernelServiceStats KernelService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void KernelService::clearMemoryCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+  publishGaugesLocked();
+}
+
+// --- manifest parsing ---------------------------------------------------
+
+namespace {
+
+std::int64_t parsePositiveInt(const std::string& text,
+                              const std::string& what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+      v <= 0)
+    throwInput(strCat(what, " must be a positive integer, got '", text, "'"));
+  return v;
+}
+
+/// "MxNxK" -> three positive integers.
+void parseTileShape(const std::string& text, core::CodegenOptions& options) {
+  const std::size_t x1 = text.find('x');
+  const std::size_t x2 = x1 == std::string::npos ? std::string::npos
+                                                 : text.find('x', x1 + 1);
+  if (x1 == std::string::npos || x2 == std::string::npos)
+    throwInput(strCat("tile shape must look like MxNxK, got '", text, "'"));
+  options.tileM = parsePositiveInt(text.substr(0, x1), "tile M");
+  options.tileN = parsePositiveInt(text.substr(x1 + 1, x2 - x1 - 1), "tile N");
+  options.tileK = parsePositiveInt(text.substr(x2 + 1), "tile K");
+}
+
+}  // namespace
+
+core::CodegenOptions parseManifestLine(const std::string& line) {
+  core::CodegenOptions options;
+  std::istringstream tokens(line.substr(0, line.find('#')));
+  std::string token;
+  while (tokens >> token) {
+    if (token.rfind("tile=", 0) == 0) {
+      parseTileShape(token.substr(5), options);
+    } else if (token.rfind("strip=", 0) == 0) {
+      options.stripFactor = parsePositiveInt(token.substr(6), "strip factor");
+    } else if (token == "batch") {
+      options.batched = true;
+    } else if (token == "no-asm") {
+      options.useAsm = false;
+    } else if (token == "no-rma") {
+      options.useRma = false;
+      options.hideLatency = false;
+    } else if (token == "no-hiding") {
+      options.hideLatency = false;
+    } else if (token == "fuse=relu") {
+      options.fusion = core::FusionKind::kEpilogueRelu;
+    } else if (token == "fuse=quantize") {
+      options.fusion = core::FusionKind::kPrologueQuantize;
+    } else if (token == "transA") {
+      options.transposeA = true;
+    } else if (token == "transB") {
+      options.transposeB = true;
+    } else {
+      throwInput(strCat("unknown manifest token '", token,
+                        "' (expected tile=MxNxK, strip=S, batch, no-asm, "
+                        "no-rma, no-hiding, fuse=relu|quantize, transA, "
+                        "transB)"));
+    }
+  }
+  return options;
+}
+
+std::vector<core::CodegenOptions> parseWarmShapes(const std::string& shapes) {
+  std::vector<core::CodegenOptions> requests;
+  std::size_t begin = 0;
+  while (begin <= shapes.size()) {
+    std::size_t end = shapes.find(',', begin);
+    if (end == std::string::npos) end = shapes.size();
+    const std::string item = shapes.substr(begin, end - begin);
+    if (!item.empty()) {
+      core::CodegenOptions options;
+      parseTileShape(item, options);
+      requests.push_back(options);
+    }
+    begin = end + 1;
+  }
+  if (requests.empty())
+    throwInput("--warm needs a comma-separated list of tile shapes MxNxK");
+  return requests;
+}
+
+}  // namespace sw::service

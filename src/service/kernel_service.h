@@ -1,0 +1,191 @@
+// Kernel compilation service: the serving layer in front of SwGemmCompiler.
+//
+// Production GEMM workloads hammer a small, repeated set of kernel
+// signatures, so re-running the polyhedral pipeline (§3–§7) per request is
+// the dominant avoidable cost.  KernelService removes it with three
+// cooperating mechanisms:
+//   * an in-memory LRU cache with an entry count and byte budget,
+//   * a persistent on-disk cache (versioned layout, atomic write-then-
+//     rename, corrupt or stale-version entries recompiled with a warning),
+//   * single-flight deduplication: N concurrent requests for the same key
+//     trigger exactly one pipeline run, the rest block on its result.
+// A thread-pool batch API (compileBatch) compiles a manifest of shapes
+// concurrently; the CLI exposes it as `swcodegen --serve-batch/--warm`.
+//
+// Requests are addressed by the canonical cache key of
+// core::canonicalRequestKey (every CodegenOptions + ArchConfig field, plus
+// the serdes version).  Cache correctness rests on compile determinism —
+// identical keys yield byte-identical kernels — which
+// tests/compile_determinism_test.cc guards.
+//
+// Observability: every request opens a trace span on its worker thread
+// ("service.request", outcome=memory_hit|disk_hit|compile|shared) and the
+// service publishes "service.cache.*" gauges (hits, misses, evictions,
+// entries, bytes, hit_rate) into the global MetricsRegistry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiler.h"
+
+namespace sw::service {
+
+struct KernelServiceConfig {
+  /// In-memory LRU budget: maximum cached kernels and maximum total
+  /// serialized bytes.  Admitting a kernel evicts least-recently-used
+  /// entries until both budgets hold again (the newest entry is kept even
+  /// if it alone exceeds maxBytes).
+  std::size_t maxEntries = 128;
+  std::int64_t maxBytes = std::int64_t{256} * 1024 * 1024;
+
+  /// Persistent cache directory; empty disables the disk tier.  Entries
+  /// live under `<cacheDir>/v<serdes-version>/<key-digest>.swk`.
+  std::string cacheDir;
+
+  /// Worker threads for compileBatch; 0 picks hardware_concurrency.
+  int threads = 0;
+};
+
+/// How a request was served; surfaced per request by compileBatch and in
+/// aggregate by stats().
+enum class ServeOutcome {
+  kMemoryHit,  // served from the in-memory LRU
+  kDiskHit,    // deserialized from the persistent cache
+  kCompiled,   // full pipeline run
+  kShared,     // joined an in-flight compile of the same key
+};
+
+[[nodiscard]] const char* toString(ServeOutcome outcome);
+
+struct KernelServiceStats {
+  std::int64_t requests = 0;
+  std::int64_t memoryHits = 0;
+  std::int64_t diskHits = 0;
+  std::int64_t compiles = 0;
+  std::int64_t shared = 0;          // single-flight joiners
+  std::int64_t evictions = 0;
+  std::int64_t corruptDiskEntries = 0;
+  std::size_t entries = 0;          // current LRU size
+  std::int64_t bytes = 0;           // current LRU serialized bytes
+
+  /// Requests served without a pipeline run / all requests, in [0,1].
+  [[nodiscard]] double hitRate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(memoryHits + diskHits + shared) /
+                     static_cast<double>(requests);
+  }
+};
+
+class KernelService {
+ public:
+  using KernelPtr = std::shared_ptr<const core::CompiledKernel>;
+  /// Test seam: the underlying compile function.  The default constructor
+  /// wires in SwGemmCompiler::compile; tests substitute a counting stub to
+  /// observe how many pipeline runs the cache actually triggers.
+  using CompileFn =
+      std::function<core::CompiledKernel(const core::CodegenOptions&)>;
+
+  explicit KernelService(sunway::ArchConfig arch = {},
+                         KernelServiceConfig config = {});
+  KernelService(CompileFn compileFn, sunway::ArchConfig arch,
+                KernelServiceConfig config);
+
+  [[nodiscard]] const sunway::ArchConfig& arch() const { return arch_; }
+  [[nodiscard]] const KernelServiceConfig& config() const { return config_; }
+
+  /// Serve one request through the cache tiers.  Thread-safe; concurrent
+  /// calls with the same key share one underlying compile.  Exceptions
+  /// from the pipeline propagate to every waiter of the key.
+  KernelPtr compile(const core::CodegenOptions& options);
+
+  /// compile() plus the outcome actually taken, for callers that report
+  /// per-request serving statistics.
+  KernelPtr compile(const core::CodegenOptions& options,
+                    ServeOutcome* outcome);
+
+  /// Parse a naive C GEMM source, then serve the derived options through
+  /// the cache.  The returned kernel is re-titled after the source's
+  /// function and its athread sources re-printed under that name (cheap
+  /// relative to the pipeline; the cache stores the canonical kernel).
+  core::CompiledKernel compileSource(const std::string& source,
+                                     core::CodegenOptions base = {},
+                                     ServeOutcome* outcome = nullptr);
+
+  struct BatchResult {
+    core::CodegenOptions options;
+    KernelPtr kernel;  // nullptr when error is non-empty
+    ServeOutcome outcome = ServeOutcome::kCompiled;
+    double latencySeconds = 0.0;
+    std::string error;
+  };
+
+  /// Compile every request on the worker pool; results are positionally
+  /// aligned with `requests`.  Duplicate keys inside one batch are
+  /// deduplicated by single-flight, so the batch does at most
+  /// distinct-key pipeline runs.
+  std::vector<BatchResult> compileBatch(
+      const std::vector<core::CodegenOptions>& requests);
+
+  [[nodiscard]] KernelServiceStats stats() const;
+
+  /// Drop the in-memory tier (the disk tier is untouched).
+  void clearMemoryCache();
+
+  /// Absolute path a key's disk entry would live at; empty without a
+  /// cacheDir.  Exposed for tests and the CLI's cache report.
+  [[nodiscard]] std::string diskPathForKey(const std::string& canonicalKey) const;
+
+ private:
+  struct Entry {
+    std::string key;
+    KernelPtr kernel;
+    std::int64_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  KernelPtr serve(const std::string& key, const core::CodegenOptions& options,
+                  ServeOutcome* outcome);
+  /// Leader path: disk load or compile, then admit + store.  Never holds
+  /// mutex_ while compiling.
+  KernelPtr produce(const std::string& key,
+                    const core::CodegenOptions& options, ServeOutcome* outcome);
+  void admitLocked(const std::string& key, const KernelPtr& kernel,
+                   std::int64_t bytes);
+  void publishGaugesLocked() const;
+
+  /// Disk tier; both return/log through the structured logger.  On success
+  /// `bytes` receives the entry's serialized size (the LRU charge).
+  KernelPtr tryLoadFromDisk(const std::string& key, std::int64_t* bytes);
+  void storeToDisk(const std::string& key, const std::string& serialized);
+
+  CompileFn compileFn_;
+  sunway::ArchConfig arch_;
+  KernelServiceConfig config_;
+
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  std::unordered_map<std::string, std::shared_future<KernelPtr>> inflight_;
+  KernelServiceStats stats_;
+};
+
+/// Parse one batch-manifest line into CodegenOptions.  Grammar (whitespace
+/// separated, '#' starts a comment):
+///   tile=MxNxK  strip=S  batch  no-asm  no-rma  no-hiding
+///   fuse=relu|quantize  transA  transB
+/// Throws InputError on unknown tokens or malformed values.
+core::CodegenOptions parseManifestLine(const std::string& line);
+
+/// Parse a `--warm` shape list: comma-separated tile shapes "MxNxK".
+std::vector<core::CodegenOptions> parseWarmShapes(const std::string& shapes);
+
+}  // namespace sw::service

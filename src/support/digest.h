@@ -1,0 +1,35 @@
+// Content digests for cache keys.
+//
+// FNV-1a is sufficient here: the kernel cache stores the full canonical key
+// next to every entry and verifies it on load, so the digest only has to
+// spread keys across file names / hash buckets, not be collision-proof.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sw {
+
+/// 64-bit FNV-1a over `data`.
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Fixed-width lower-case hex rendering (16 characters), filesystem-safe.
+[[nodiscard]] inline std::string digestHex(std::uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace sw

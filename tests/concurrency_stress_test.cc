@@ -1,0 +1,123 @@
+// Thread-safety stress test for the observability layer under concurrent
+// compiles: 8 distinct shapes on 8 threads with tracing enabled, every
+// worker emitting spans and gauges simultaneously.
+//
+// Audit notes (PR 2) for src/support/trace.{h,cc} and metrics.{h,cc}:
+//   * Tracer serializes all mutation (completeEvent, simSpan, lane naming)
+//     behind one mutex; the hot enabled() probe is a relaxed atomic that
+//     is only a hint, so a racing enable/disable can at worst drop or keep
+//     an extra event, never corrupt state.
+//   * Span captures its start time and args thread-locally and touches the
+//     tracer only in the destructor; currentThreadLane() hands out dense
+//     ids via a thread_local initialized from an atomic counter.
+//   * MetricsRegistry::set/add/get/snapshot all lock the registry mutex;
+//     concurrent add() on one gauge cannot lose updates.
+// This test pins those properties down end to end: the collected trace
+// must be structurally valid JSON with every per-thread span present.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.h"
+#include "json_checker_test_util.h"
+#include "service/kernel_service.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace sw {
+namespace {
+
+class ConcurrencyStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::Tracer::global().clear();
+    trace::Tracer::global().enable();
+  }
+  void TearDown() override {
+    trace::Tracer::global().disable();
+    trace::Tracer::global().clear();
+  }
+};
+
+TEST_F(ConcurrencyStressTest, EightShapesOnEightThreadsWithTracingOn) {
+  constexpr int kThreads = 8;
+  // Eight distinct known-good shapes: tile sizes the SPM fits crossed with
+  // the micro-kernel toggle.
+  const std::int64_t tiles[kThreads] = {16, 32, 64, 16, 32, 64, 16, 32};
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      try {
+        core::CodegenOptions options;
+        options.tileM = tiles[t];
+        options.tileN = tiles[t];
+        options.useAsm = t < 4;
+        options.hideLatency = t % 2 == 0;
+        core::SwGemmCompiler compiler;
+        const core::CompiledKernel kernel = compiler.compile(options);
+        metrics::MetricsRegistry::global().add("stress.compiles", 1.0);
+        metrics::MetricsRegistry::global().set(
+            "stress.last_spm_bytes",
+            static_cast<double>(kernel.program.spmBytesUsed()));
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Every thread's compile span must have been recorded on its own lane.
+  std::set<std::int64_t> compileLanes;
+  for (const trace::TraceEvent& e : trace::Tracer::global().snapshot())
+    if (e.phase == 'X' && e.name == "compile") compileLanes.insert(e.tid);
+  EXPECT_EQ(compileLanes.size(), static_cast<std::size_t>(kThreads));
+
+  // The merged trace must still be structurally valid JSON.
+  const std::string json = trace::Tracer::global().toJson();
+  testutil::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+
+  // Concurrent metric adds must not lose updates.
+  EXPECT_DOUBLE_EQ(
+      metrics::MetricsRegistry::global().get("stress.compiles"),
+      static_cast<double>(kThreads));
+}
+
+TEST_F(ConcurrencyStressTest, ServiceBatchUnderTracingStaysWellFormed) {
+  // The service path adds worker-thread request spans and cache gauges on
+  // top of the pipeline spans; an 8-thread batch over mixed shapes (with
+  // duplicates, so single-flight and memory hits both fire) must leave a
+  // parseable trace.
+  service::KernelServiceConfig config;
+  config.threads = 8;
+  service::KernelService service(sunway::ArchConfig{}, config);
+
+  std::vector<core::CodegenOptions> requests;
+  for (int i = 0; i < 16; ++i) {
+    core::CodegenOptions options;
+    options.tileM = 16 << (i % 3);
+    options.useAsm = i % 2 == 0;
+    requests.push_back(options);
+  }
+  const auto results = service.compileBatch(requests);
+  for (const auto& r : results) EXPECT_TRUE(r.error.empty()) << r.error;
+
+  int requestSpans = 0;
+  for (const trace::TraceEvent& e : trace::Tracer::global().snapshot())
+    if (e.phase == 'X' && e.name == "service.request") ++requestSpans;
+  EXPECT_EQ(requestSpans, 16);
+
+  const std::string json = trace::Tracer::global().toJson();
+  testutil::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+}
+
+}  // namespace
+}  // namespace sw

@@ -1,0 +1,90 @@
+// Serialization round-trip tests for CompiledKernel: serialize →
+// deserialize → serialize is the identity, a reloaded kernel is
+// functionally equivalent on the mesh simulator, and corrupted or
+// version-skewed inputs are rejected with InputError (the service treats
+// that as a recompile, never a misparse).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/gemm_runner.h"
+#include "core/kernel_serdes.h"
+#include "support/error.h"
+#include "support/format.h"
+
+namespace sw::core {
+namespace {
+
+CompiledKernel compileVariant(bool batched, FusionKind fusion) {
+  CodegenOptions options;
+  options.batched = batched;
+  options.fusion = fusion;
+  return SwGemmCompiler().compile(options);
+}
+
+TEST(KernelSerdesTest, RoundTripIsIdentity) {
+  for (const CompiledKernel& kernel :
+       {compileVariant(false, FusionKind::kNone),
+        compileVariant(true, FusionKind::kNone),
+        compileVariant(false, FusionKind::kEpilogueRelu)}) {
+    const std::string serialized = serializeCompiledKernel(kernel);
+    const CompiledKernel reloaded = deserializeCompiledKernel(serialized);
+    EXPECT_EQ(reloaded.cpeSource, kernel.cpeSource);
+    EXPECT_EQ(reloaded.mpeSource, kernel.mpeSource);
+    EXPECT_EQ(reloaded.initialTreeDump, kernel.initialTreeDump);
+    EXPECT_EQ(reloaded.tiledTreeDump, kernel.tiledTreeDump);
+    EXPECT_EQ(reloaded.finalTreeDump, kernel.finalTreeDump);
+    EXPECT_EQ(reloaded.program.name, kernel.program.name);
+    EXPECT_EQ(reloaded.program.params, kernel.program.params);
+    EXPECT_EQ(serializeCompiledKernel(reloaded), serialized);
+  }
+}
+
+TEST(KernelSerdesTest, ReloadedKernelRunsFunctionally) {
+  const CompiledKernel fresh = compileVariant(false, FusionKind::kNone);
+  const CompiledKernel reloaded =
+      deserializeCompiledKernel(serializeCompiledKernel(fresh));
+
+  const sunway::ArchConfig arch;
+  const std::int64_t m = 64, n = 64, k = 64;
+  std::vector<double> a(m * k), b(k * n);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 0.25 * (i % 7) - 0.5;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 0.125 * (i % 5) - 0.25;
+  std::vector<double> cFresh(m * n, 1.0), cReloaded(m * n, 1.0);
+  const GemmProblem problem{m, n, k, 1};
+  runGemmFunctional(fresh, arch, problem, a, b, cFresh);
+  runGemmFunctional(reloaded, arch, problem, a, b, cReloaded);
+  EXPECT_EQ(cFresh, cReloaded);
+}
+
+TEST(KernelSerdesTest, RejectsCorruptInput) {
+  const CompiledKernel kernel = compileVariant(false, FusionKind::kNone);
+  const std::string serialized = serializeCompiledKernel(kernel);
+
+  EXPECT_THROW(deserializeCompiledKernel("not a kernel"), InputError);
+  EXPECT_THROW(deserializeCompiledKernel(""), InputError);
+  // Truncation anywhere must throw, never crash or misparse.
+  EXPECT_THROW(
+      deserializeCompiledKernel(serialized.substr(0, serialized.size() / 2)),
+      InputError);
+  EXPECT_THROW(deserializeCompiledKernel(serialized.substr(0, 24)),
+               InputError);
+  // Trailing garbage is corruption too.
+  EXPECT_THROW(deserializeCompiledKernel(serialized + "tail"), InputError);
+}
+
+TEST(KernelSerdesTest, RejectsVersionSkew) {
+  const CompiledKernel kernel = compileVariant(false, FusionKind::kNone);
+  std::string serialized = serializeCompiledKernel(kernel);
+  // The stream starts "swkernel <version> ..."; bump the version token.
+  const std::string needle = strCat("swkernel ", kKernelSerdesVersion, " ");
+  ASSERT_EQ(serialized.rfind(needle, 0), 0u);
+  serialized.replace(0, needle.size(),
+                     strCat("swkernel ", kKernelSerdesVersion + 1, " "));
+  EXPECT_THROW(deserializeCompiledKernel(serialized), InputError);
+}
+
+}  // namespace
+}  // namespace sw::core

@@ -1,0 +1,319 @@
+// Kernel-service tests: cache hit/miss accounting, LRU eviction under
+// entry and byte budgets, persistent disk round-trips across service
+// instances (a "new process" stand-in), corrupt-entry recovery, and
+// single-flight deduplication observed through a counting compiler stub.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/gemm_runner.h"
+#include "core/kernel_serdes.h"
+#include "service/kernel_service.h"
+#include "support/error.h"
+
+namespace sw::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::CodegenOptions tileVariant(std::int64_t tileM) {
+  core::CodegenOptions options;
+  options.tileM = tileM;
+  return options;
+}
+
+/// Real compile wrapped in an invocation counter: the cache-behavior
+/// assertions all reduce to "how many pipeline runs did this trigger".
+struct CountingCompiler {
+  std::atomic<int> calls{0};
+
+  KernelService::CompileFn fn(const sunway::ArchConfig& arch) {
+    return [this, arch](const core::CodegenOptions& options) {
+      calls.fetch_add(1);
+      return core::SwGemmCompiler(arch).compile(options);
+    };
+  }
+};
+
+/// Fresh per-test scratch directory under the gtest temp root.
+std::string scratchDir(const std::string& name) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("swk_service_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(KernelServiceTest, MemoryHitServesWithoutRecompile) {
+  CountingCompiler counting;
+  const sunway::ArchConfig arch;
+  KernelService service(counting.fn(arch), arch, {});
+
+  const KernelService::KernelPtr first = service.compile(tileVariant(64));
+  const KernelService::KernelPtr second = service.compile(tileVariant(64));
+  EXPECT_EQ(counting.calls.load(), 1);
+  EXPECT_EQ(first.get(), second.get());  // same cached object
+
+  service.compile(tileVariant(32));
+  EXPECT_EQ(counting.calls.load(), 2);
+
+  const KernelServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.memoryHits, 1);
+  EXPECT_EQ(stats.compiles, 2);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.bytes, 0);
+  EXPECT_NEAR(stats.hitRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KernelServiceTest, LruEvictsByEntryBudget) {
+  CountingCompiler counting;
+  const sunway::ArchConfig arch;
+  KernelServiceConfig config;
+  config.maxEntries = 2;
+  KernelService service(counting.fn(arch), arch, config);
+
+  service.compile(tileVariant(64));
+  service.compile(tileVariant(32));
+  service.compile(tileVariant(16));  // evicts tileM=64
+  EXPECT_EQ(service.stats().entries, 2u);
+  EXPECT_EQ(service.stats().evictions, 1);
+
+  // tileM=32 was refreshed less recently than 16 but more recently than
+  // the evicted 64: re-requesting 64 recompiles, 32 still hits.
+  service.compile(tileVariant(32));
+  EXPECT_EQ(counting.calls.load(), 3);
+  service.compile(tileVariant(64));
+  EXPECT_EQ(counting.calls.load(), 4);
+}
+
+TEST(KernelServiceTest, LruEvictsByByteBudgetButKeepsNewest) {
+  CountingCompiler counting;
+  const sunway::ArchConfig arch;
+  KernelServiceConfig config;
+  config.maxBytes = 1;  // below any kernel's size
+  KernelService service(counting.fn(arch), arch, config);
+
+  service.compile(tileVariant(64));
+  EXPECT_EQ(service.stats().entries, 1u);  // newest survives over-budget
+  service.compile(tileVariant(32));
+  EXPECT_EQ(service.stats().entries, 1u);
+  EXPECT_EQ(service.stats().evictions, 1);
+}
+
+TEST(KernelServiceTest, DiskRoundTripAcrossServiceInstances) {
+  const sunway::ArchConfig arch;
+  KernelServiceConfig config;
+  config.cacheDir = scratchDir("roundtrip");
+
+  core::CompiledKernel fresh;
+  {
+    CountingCompiler counting;
+    KernelService warmup(counting.fn(arch), arch, config);
+    fresh = *warmup.compile(tileVariant(64));
+    EXPECT_EQ(counting.calls.load(), 1);
+  }
+
+  // A brand-new service over the same directory stands in for a new
+  // process: it must serve from disk without compiling at all.
+  CountingCompiler counting;
+  KernelService reloadedService(counting.fn(arch), arch, config);
+  ServeOutcome outcome;
+  const KernelService::KernelPtr reloaded =
+      reloadedService.compile(tileVariant(64), &outcome);
+  EXPECT_EQ(counting.calls.load(), 0);
+  EXPECT_EQ(outcome, ServeOutcome::kDiskHit);
+  EXPECT_EQ(reloaded->cpeSource, fresh.cpeSource);
+  EXPECT_EQ(reloaded->mpeSource, fresh.mpeSource);
+
+  // And the reloaded kernel must be functionally identical on the mesh.
+  const std::int64_t m = 64, n = 64, k = 64;
+  std::vector<double> a(m * k), b(k * n);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 0.5 * (i % 3) - 0.5;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 0.25 * (i % 5) - 0.5;
+  std::vector<double> cFresh(m * n, 2.0), cReloaded(m * n, 2.0);
+  const core::GemmProblem problem{m, n, k, 1};
+  core::runGemmFunctional(fresh, arch, problem, a, b, cFresh);
+  core::runGemmFunctional(*reloaded, arch, problem, a, b, cReloaded);
+  EXPECT_EQ(cFresh, cReloaded);
+}
+
+TEST(KernelServiceTest, CorruptDiskEntryIsRecompiledAndRepaired) {
+  const sunway::ArchConfig arch;
+  KernelServiceConfig config;
+  config.cacheDir = scratchDir("corrupt");
+
+  std::string entryPath;
+  {
+    CountingCompiler counting;
+    KernelService warmup(counting.fn(arch), arch, config);
+    warmup.compile(tileVariant(64));
+    entryPath = warmup.diskPathForKey(
+        core::canonicalRequestKey(tileVariant(64), arch));
+    ASSERT_TRUE(fs::exists(entryPath));
+  }
+
+  // Truncate the entry mid-stream: the service must warn, recompile and
+  // rewrite, never misparse.
+  {
+    std::ofstream out(entryPath, std::ios::binary | std::ios::trunc);
+    out << "swkcache1 5:hello GARBAGE";
+  }
+  CountingCompiler counting;
+  KernelService service(counting.fn(arch), arch, config);
+  ServeOutcome outcome;
+  service.compile(tileVariant(64), &outcome);
+  EXPECT_EQ(counting.calls.load(), 1);
+  EXPECT_EQ(outcome, ServeOutcome::kCompiled);
+  EXPECT_EQ(service.stats().corruptDiskEntries, 1);
+
+  // The rewrite healed the entry: one more fresh service now disk-hits.
+  CountingCompiler countingAfter;
+  KernelService healed(countingAfter.fn(arch), arch, config);
+  healed.compile(tileVariant(64), &outcome);
+  EXPECT_EQ(countingAfter.calls.load(), 0);
+  EXPECT_EQ(outcome, ServeOutcome::kDiskHit);
+}
+
+TEST(KernelServiceTest, StaleVersionDirectoryIsIgnored) {
+  const sunway::ArchConfig arch;
+  KernelServiceConfig config;
+  config.cacheDir = scratchDir("stale");
+  // Entries of a hypothetical older format live in their own version
+  // directory and are simply invisible to the current reader.
+  fs::create_directories(fs::path(config.cacheDir) / "v0");
+  std::ofstream(fs::path(config.cacheDir) / "v0" / "deadbeef.swk")
+      << "old format";
+
+  CountingCompiler counting;
+  KernelService service(counting.fn(arch), arch, config);
+  ServeOutcome outcome;
+  service.compile(tileVariant(64), &outcome);
+  EXPECT_EQ(outcome, ServeOutcome::kCompiled);
+  EXPECT_EQ(service.stats().corruptDiskEntries, 0);
+}
+
+TEST(KernelServiceTest, SingleFlightDeduplicatesConcurrentRequests) {
+  const sunway::ArchConfig arch;
+  std::atomic<int> calls{0};
+  std::mutex gate;
+  std::condition_variable cv;
+  bool release = false;
+
+  // A compile stub that blocks until released, so every requester thread
+  // provably arrives while the first compile is still in flight.
+  KernelService::CompileFn blockingCompile =
+      [&](const core::CodegenOptions& options) {
+        calls.fetch_add(1);
+        std::unique_lock<std::mutex> lock(gate);
+        cv.wait(lock, [&] { return release; });
+        return core::SwGemmCompiler(arch).compile(options);
+      };
+  KernelService service(blockingCompile, arch, {});
+
+  constexpr int kThreads = 8;
+  std::vector<KernelService::KernelPtr> results(kThreads);
+  std::vector<ServeOutcome> outcomes(kThreads, ServeOutcome::kCompiled);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] {
+      results[i] = service.compile(tileVariant(64), &outcomes[i]);
+    });
+
+  // Wait until the leader entered the stub, give joiners time to pile up
+  // on the in-flight future, then open the gate.
+  while (calls.load() == 0) std::this_thread::yield();
+  while (service.stats().shared < kThreads - 1) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(gate);
+    release = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(calls.load(), 1) << "single-flight must collapse to one compile";
+  int sharedCount = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(results[i], nullptr);
+    EXPECT_EQ(results[i].get(), results[0].get());
+    if (outcomes[i] == ServeOutcome::kShared) ++sharedCount;
+  }
+  EXPECT_EQ(sharedCount, kThreads - 1);
+  EXPECT_EQ(service.stats().shared, kThreads - 1);
+}
+
+TEST(KernelServiceTest, BatchDeduplicatesAndReportsPerRequest) {
+  CountingCompiler counting;
+  const sunway::ArchConfig arch;
+  KernelServiceConfig config;
+  config.threads = 4;
+  KernelService service(counting.fn(arch), arch, config);
+
+  // 12 requests over 3 distinct keys: at most 3 pipeline runs.
+  std::vector<core::CodegenOptions> requests;
+  for (int i = 0; i < 12; ++i)
+    requests.push_back(tileVariant(std::int64_t{16} << (i % 3)));
+  const std::vector<KernelService::BatchResult> results =
+      service.compileBatch(requests);
+
+  ASSERT_EQ(results.size(), requests.size());
+  EXPECT_EQ(counting.calls.load(), 3);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].error.empty()) << results[i].error;
+    ASSERT_NE(results[i].kernel, nullptr);
+    EXPECT_EQ(results[i].options.tileM, requests[i].tileM);
+    EXPECT_GE(results[i].latencySeconds, 0.0);
+  }
+  // Identical keys resolve to the identical cached object.
+  EXPECT_EQ(results[0].kernel.get(), results[3].kernel.get());
+}
+
+TEST(KernelServiceTest, BatchReportsPerRequestErrors) {
+  const sunway::ArchConfig arch;
+  KernelService service(arch, {});
+  // Tiles too large for the 256 KB SPM must fail that request only.
+  std::vector<core::CodegenOptions> requests{tileVariant(64),
+                                             tileVariant(4096)};
+  const std::vector<KernelService::BatchResult> results =
+      service.compileBatch(requests);
+  EXPECT_TRUE(results[0].error.empty());
+  ASSERT_NE(results[0].kernel, nullptr);
+  EXPECT_FALSE(results[1].error.empty());
+  EXPECT_EQ(results[1].kernel, nullptr);
+}
+
+TEST(KernelServiceTest, ManifestParsing) {
+  const core::CodegenOptions parsed = parseManifestLine(
+      "tile=32x48x16 strip=4 batch no-asm fuse=relu transB  # comment");
+  EXPECT_EQ(parsed.tileM, 32);
+  EXPECT_EQ(parsed.tileN, 48);
+  EXPECT_EQ(parsed.tileK, 16);
+  EXPECT_EQ(parsed.stripFactor, 4);
+  EXPECT_TRUE(parsed.batched);
+  EXPECT_FALSE(parsed.useAsm);
+  EXPECT_EQ(parsed.fusion, core::FusionKind::kEpilogueRelu);
+  EXPECT_TRUE(parsed.transposeB);
+
+  EXPECT_THROW(parseManifestLine("tile=32x48"), InputError);
+  EXPECT_THROW(parseManifestLine("tile=0x48x16"), InputError);
+  EXPECT_THROW(parseManifestLine("frobnicate"), InputError);
+
+  const std::vector<core::CodegenOptions> warm =
+      parseWarmShapes("64x64x32,32x32x32");
+  ASSERT_EQ(warm.size(), 2u);
+  EXPECT_EQ(warm[0].tileM, 64);
+  EXPECT_EQ(warm[1].tileK, 32);
+  EXPECT_THROW(parseWarmShapes(""), InputError);
+  EXPECT_THROW(parseWarmShapes("64x64"), InputError);
+}
+
+}  // namespace
+}  // namespace sw::service

@@ -5,141 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cctype>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/compiler.h"
 #include "core/gemm_runner.h"
+#include "json_checker_test_util.h"
 #include "support/trace.h"
 
 namespace sw::trace {
 namespace {
 
-// --- minimal JSON well-formedness checker -------------------------------
-// Validates syntax only (objects, arrays, strings with escapes, numbers,
-// literals); enough to guarantee Perfetto's parser will not reject the
-// file for structural reasons.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool valid() {
-    skipWs();
-    if (!value()) return false;
-    skipWs();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skipWs();
-    if (peek() == '}') { ++pos_; return true; }
-    while (true) {
-      skipWs();
-      if (!string()) return false;
-      skipWs();
-      if (peek() != ':') return false;
-      ++pos_;
-      skipWs();
-      if (!value()) return false;
-      skipWs();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skipWs();
-    if (peek() == ']') { ++pos_; return true; }
-    while (true) {
-      skipWs();
-      if (!value()) return false;
-      skipWs();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') { ++pos_; return true; }
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_];
-        if (esc == 'u') {
-          for (int i = 1; i <= 4; ++i)
-            if (pos_ + i >= text_.size() ||
-                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])))
-              return false;
-          pos_ += 4;
-        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    if (peek() == '.') {
-      ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool literal(const char* word) {
-    const std::size_t len = std::string(word).size();
-    if (text_.compare(pos_, len, word) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-
-  [[nodiscard]] char peek() const {
-    return pos_ < text_.size() ? text_[pos_] : '\0';
-  }
-  void skipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using testutil::JsonChecker;
 
 class TraceTest : public ::testing::Test {
  protected:

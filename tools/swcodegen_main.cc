@@ -5,11 +5,15 @@
 //
 //   swcodegen input.c [-o PREFIX] [--no-use-asm] [--no-rma] [--no-hiding]
 //             [--dump-schedule] [--estimate M N K [B]]
-//             [--profile] [--trace OUT.json]
+//             [--profile] [--trace OUT.json] [--cache-dir DIR]
+//   swcodegen --warm SHAPES | --serve-batch FILE  [--cache-dir DIR] [-j N]
 //
 // --batch is detected automatically from the input program (a 4-deep nest
 // over 3D arrays), as are the fusion patterns; the explicit flags mirror
-// the paper's tool for the ablation variants.
+// the paper's tool for the ablation variants.  With --cache-dir (or
+// $SWCODEGEN_CACHE_DIR) compiles are served through the kernel service's
+// persistent cache; --warm/--serve-batch compile many option variants
+// concurrently on the service's thread pool.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +26,9 @@
 
 #include "core/compiler.h"
 #include "core/gemm_runner.h"
+#include "core/kernel_serdes.h"
+#include "service/kernel_service.h"
+#include "support/digest.h"
 #include "support/error.h"
 #include "support/logging.h"
 #include "support/metrics.h"
@@ -51,11 +58,24 @@ void usage(std::FILE* out) {
       "  --trace OUT.json   write a Chrome trace-event file (open in\n"
       "                     https://ui.perfetto.dev): compile spans plus\n"
       "                     per-CPE simulated-clock timelines\n"
+      "  --cache-dir DIR    persistent kernel cache: repeated compiles of\n"
+      "                     the same options+architecture are served from\n"
+      "                     disk without re-running the pipeline\n"
+      "  --warm SHAPES      pre-compile a comma-separated list of tile\n"
+      "                     shapes (e.g. 64x64x32,32x32x32) on the worker\n"
+      "                     pool, then exit (no INPUT.c needed)\n"
+      "  --serve-batch FILE compile every request in a manifest (one per\n"
+      "                     line: tile=MxNxK strip=S batch no-asm no-rma\n"
+      "                     no-hiding fuse=relu|quantize transA transB)\n"
+      "                     concurrently and report per-request latency\n"
+      "  -j, --jobs N       worker threads for --warm/--serve-batch\n"
+      "                     (default: hardware concurrency)\n"
       "  -h, --help         show this help and exit\n"
       "\n"
       "environment:\n"
-      "  SWCODEGEN_LOG      debug|info|warn — structured log threshold\n"
-      "  SWCODEGEN_TRACE    path — enable tracing and write there on exit\n");
+      "  SWCODEGEN_LOG        debug|info|warn — structured log threshold\n"
+      "  SWCODEGEN_TRACE      path — enable tracing and write there on exit\n"
+      "  SWCODEGEN_CACHE_DIR  default for --cache-dir\n");
 }
 
 std::string readFile(const std::string& path) {
@@ -148,12 +168,74 @@ void printRunMetrics(const char* title, const sw::rt::RunOutcome& outcome,
   std::printf("\n");
 }
 
+/// Strict positive-integer parse for CLI arguments; returns false on any
+/// non-numeric, overflowing or non-positive value.
+bool parsePositiveLong(const char* text, long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (*end != '\0' || errno == ERANGE || v <= 0) return false;
+  *out = v;
+  return true;
+}
+
+/// --warm / --serve-batch: compile all requests on the worker pool and
+/// print the per-request serving report.
+int runBatchMode(sw::service::KernelService& service,
+                 const std::vector<sw::core::CodegenOptions>& requests) {
+  const double start =
+      sw::trace::Tracer::global().nowMicros();
+  const std::vector<sw::service::KernelService::BatchResult> results =
+      service.compileBatch(requests);
+  const double wallMs =
+      (sw::trace::Tracer::global().nowMicros() - start) / 1e3;
+
+  std::printf("%-4s %-16s %-12s %10s  %s\n", "#", "tile", "outcome",
+              "ms", "key");
+  int failures = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const sw::service::KernelService::BatchResult& r = results[i];
+    char tile[48];
+    std::snprintf(tile, sizeof(tile), "%ldx%ldx%ld",
+                  static_cast<long>(r.options.tileM),
+                  static_cast<long>(r.options.tileN),
+                  static_cast<long>(r.options.tileK));
+    const std::string key = sw::core::canonicalRequestKey(
+        r.options, service.arch());
+    if (r.error.empty()) {
+      std::printf("%-4zu %-16s %-12s %10.3f  %s\n", i, tile,
+                  sw::service::toString(r.outcome), r.latencySeconds * 1e3,
+                  sw::digestHex(sw::fnv1a64(key)).c_str());
+    } else {
+      ++failures;
+      std::printf("%-4zu %-16s %-12s %10s  error: %s\n", i, tile, "failed",
+                  "-", r.error.c_str());
+    }
+  }
+  const sw::service::KernelServiceStats stats = service.stats();
+  std::printf("\nbatch of %zu requests in %.3f ms: %lld compiled, "
+              "%lld memory hits, %lld disk hits, %lld shared "
+              "(hit rate %.1f%%)\n",
+              results.size(), wallMs,
+              static_cast<long long>(stats.compiles),
+              static_cast<long long>(stats.memoryHits),
+              static_cast<long long>(stats.diskHits),
+              static_cast<long long>(stats.shared),
+              100.0 * stats.hitRate());
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string inputPath;
   std::string outputPrefix;
   std::string tracePath;
+  std::string cacheDir;
+  std::string warmShapes;
+  std::string batchManifestPath;
+  long jobs = 0;
   bool dumpSchedule = false;
   bool profile = false;
   bool noRma = false;
@@ -191,23 +273,83 @@ int main(int argc, char** argv) {
         return 2;
       }
       tracePath = argv[++i];
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "swcodegen: --cache-dir requires a directory path\n");
+        return 2;
+      }
+      cacheDir = argv[++i];
+    } else if (arg == "--warm") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "swcodegen: --warm requires a comma-separated list of "
+                     "tile shapes (e.g. 64x64x32,32x32x32)\n");
+        return 2;
+      }
+      warmShapes = argv[++i];
+    } else if (arg == "--serve-batch") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "swcodegen: --serve-batch requires a manifest file\n");
+        return 2;
+      }
+      batchManifestPath = argv[++i];
+    } else if (arg == "-j" || arg == "--jobs") {
+      if (i + 1 >= argc || !parsePositiveLong(argv[i + 1], &jobs)) {
+        std::fprintf(stderr,
+                     "swcodegen: %s requires a positive thread count\n",
+                     arg.c_str());
+        return 2;
+      }
+      ++i;
     } else if (arg == "--estimate") {
-      while (i + 1 < argc && argv[i + 1][0] != '-')
-        estimate.push_back(std::strtol(argv[++i], nullptr, 10));
-      if (estimate.size() != 3 && estimate.size() != 4) {
-        usage(stderr);
+      // Exactly M N K plus an optional batch count; every value must be a
+      // positive integer (silently misparsed shapes used to slip through
+      // strtol here).
+      for (int want = 0; want < 4; ++want) {
+        if (i + 1 >= argc) break;
+        if (want == 3 && argv[i + 1][0] == '-') break;  // B is optional
+        long value = 0;
+        if (!parsePositiveLong(argv[i + 1], &value)) {
+          if (want >= 3) break;  // next token is another option
+          std::fprintf(stderr,
+                       "swcodegen: --estimate requires positive integers "
+                       "M N K [B], got '%s'\n",
+                       argv[i + 1]);
+          return 2;
+        }
+        estimate.push_back(value);
+        ++i;
+      }
+      if (estimate.size() < 3) {
+        std::fprintf(stderr,
+                     "swcodegen: --estimate requires positive integers "
+                     "M N K [B]\n");
         return 2;
       }
     } else if (!arg.empty() && arg[0] != '-' && inputPath.empty()) {
       inputPath = arg;
+    } else if (!arg.empty() && arg[0] != '-') {
+      std::fprintf(stderr,
+                   "swcodegen: unexpected extra argument '%s' (input is "
+                   "already '%s'; try 'swcodegen --help')\n",
+                   arg.c_str(), inputPath.c_str());
+      return 2;
     } else {
-      std::fprintf(stderr, "swcodegen: unknown argument '%s'\n\n",
+      std::fprintf(stderr,
+                   "swcodegen: unknown option '%s' (try 'swcodegen "
+                   "--help')\n",
                    arg.c_str());
-      usage(stderr);
       return 2;
     }
   }
-  if (inputPath.empty()) {
+  if (cacheDir.empty()) {
+    const char* env = std::getenv("SWCODEGEN_CACHE_DIR");
+    if (env != nullptr && env[0] != '\0') cacheDir = env;
+  }
+  const bool batchMode = !warmShapes.empty() || !batchManifestPath.empty();
+  if (inputPath.empty() && !batchMode) {
     usage(stderr);
     return 2;
   }
@@ -224,9 +366,50 @@ int main(int argc, char** argv) {
   if (!tracePath.empty() || profile) sw::trace::Tracer::global().enable();
 
   try {
-    sw::core::SwGemmCompiler compiler;
+    sw::service::KernelServiceConfig serviceConfig;
+    serviceConfig.cacheDir = cacheDir;
+    serviceConfig.threads = static_cast<int>(jobs);
+    sw::service::KernelService service(sw::sunway::ArchConfig{},
+                                       serviceConfig);
+
+    if (batchMode) {
+      std::vector<sw::core::CodegenOptions> requests;
+      if (!warmShapes.empty())
+        requests = sw::service::parseWarmShapes(warmShapes);
+      if (!batchManifestPath.empty()) {
+        std::istringstream manifest(readFile(batchManifestPath));
+        std::string line;
+        while (std::getline(manifest, line)) {
+          const std::size_t nonBlank = line.find_first_not_of(" \t\r");
+          if (nonBlank == std::string::npos || line[nonBlank] == '#')
+            continue;
+          requests.push_back(sw::service::parseManifestLine(line));
+        }
+        if (requests.empty())
+          throw sw::InputError("batch manifest '" + batchManifestPath +
+                               "' contains no requests");
+      }
+      const int rc = runBatchMode(service, requests);
+      if (!tracePath.empty()) {
+        sw::trace::Tracer::global().writeFile(tracePath);
+        std::printf("wrote trace to %s (%zu events)\n", tracePath.c_str(),
+                    sw::trace::Tracer::global().eventCount());
+      }
+      return rc;
+    }
+
+    const sw::core::SwGemmCompiler compiler;  // estimate/smoke share arch
+    sw::service::ServeOutcome outcome = sw::service::ServeOutcome::kCompiled;
     sw::core::CompiledKernel kernel =
-        compiler.compileSource(readFile(inputPath), options);
+        cacheDir.empty()
+            ? compiler.compileSource(readFile(inputPath), options)
+            : service.compileSource(readFile(inputPath), options, &outcome);
+    if (outcome == sw::service::ServeOutcome::kMemoryHit ||
+        outcome == sw::service::ServeOutcome::kDiskHit) {
+      std::printf("cache hit (%s): pipeline not re-run, kernel served "
+                  "from %s\n",
+                  sw::service::toString(outcome), cacheDir.c_str());
+    }
 
     if (dumpSchedule) {
       std::printf("--- initial schedule tree ---\n%s\n",
