@@ -38,7 +38,8 @@ rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
                                  const GemmProblem& problem,
                                  std::span<const double> a,
                                  std::span<const double> b,
-                                 std::span<double> c) {
+                                 std::span<double> c,
+                                 const FunctionalRunConfig& runConfig) {
   SW_CHECK(problem.batch >= 1, "batch must be >= 1");
   SW_CHECK(kernel.options.batched || problem.batch == 1,
            "batch > 1 requires a kernel compiled with --batch");
@@ -51,6 +52,8 @@ rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
       padShape(problem.m, problem.n, problem.k, kernel.options, arch);
 
   sunway::MeshSimulator mesh(arch, /*functional=*/true);
+  mesh.setFaultPlan(runConfig.faultPlan);
+  mesh.setWatchdogMillis(runConfig.watchdogMillis);
   // Transposed operands are stored in their transposed layout (A: K x M,
   // B: N x K), matching the generated kernel's address computation.
   const bool tA = kernel.options.transposeA;

@@ -4,11 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/compiler.h"
 #include "runtime/executor.h"
+#include "sunway/fault.h"
 
 namespace sw::core {
 
@@ -17,6 +19,15 @@ struct GemmProblem {
   std::int64_t batch = 1;
   double alpha = 1.0;
   double beta = 1.0;
+};
+
+/// Resilience knobs for functional mesh runs.
+struct FunctionalRunConfig {
+  /// Installed on the mesh before running; nullptr disables injection.
+  std::shared_ptr<const sunway::FaultPlan> faultPlan;
+  /// No-progress deadline; negative keeps the mesh default
+  /// (SWCODEGEN_WATCHDOG_MS or 5000 ms), 0 disables the watchdog.
+  double watchdogMillis = -1.0;
 };
 
 /// Run the compiled kernel functionally on the 64-thread mesh simulator.
@@ -28,7 +39,8 @@ rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
                                  const GemmProblem& problem,
                                  std::span<const double> a,
                                  std::span<const double> b,
-                                 std::span<double> c);
+                                 std::span<double> c,
+                                 const FunctionalRunConfig& runConfig = {});
 
 /// Timing-only estimate for paper-scale shapes (no data, sequential
 /// symmetric model).

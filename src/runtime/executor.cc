@@ -84,6 +84,14 @@ RunOutcome runOnMesh(sunway::MeshSimulator& mesh,
                        mesh.config().meshSize(), program,
                        mesh.config().spmBytes);
   outcome.metrics.publish(metrics::MetricsRegistry::global(), "run.mesh.");
+  // Resilience counters accumulate across runs (unlike the per-run gauges
+  // above) so a degrading service call keeps the full fault history.
+  if (meshResult.totals.faultsInjected > 0)
+    metrics::MetricsRegistry::global().add(
+        "fault.injected", static_cast<double>(meshResult.totals.faultsInjected));
+  if (meshResult.totals.dmaRetries > 0)
+    metrics::MetricsRegistry::global().add(
+        "dma.retries", static_cast<double>(meshResult.totals.dmaRetries));
   SW_DEBUG("executor", "event=mesh_run kernel=", program.name,
            " sim_seconds=", outcome.seconds, " gflops=", outcome.gflops,
            " overlap_pct=", outcome.metrics.overlapPct,

@@ -75,6 +75,32 @@ class Interpreter {
     return decl.spmOffsetBytes + phase * decl.bytesPerPhase();
   }
 
+  /// Reject malformed DMA requests at dispatch, naming the statement, so a
+  /// bad schedule fails as an InputError instead of tripping downstream
+  /// SW_CHECKs (or silently corrupting timing-only runs, which never
+  /// dereference and would otherwise accept anything).
+  void validateDma(const sunway::DmaRequest& request,
+                   const CopyStmt& stmt) const {
+    const auto bad = [&](const std::string& what) {
+      throw InputError(strCat("DMA statement '", stmt.name, "' on array '",
+                              request.array, "': ", what));
+    };
+    if (request.array.empty()) bad("empty array name");
+    if (request.tileRows <= 0 || request.tileCols <= 0)
+      bad(strCat("non-positive tile shape ", request.tileRows, "x",
+                 request.tileCols));
+    if (request.spmOffsetBytes < 0)
+      bad(strCat("negative SPM offset ", request.spmOffsetBytes));
+    if (request.rowStart < 0 || request.colStart < 0)
+      bad(strCat("negative tile origin (", request.rowStart, ", ",
+                 request.colStart, ")"));
+    if (request.batchIndex < 0)
+      bad(strCat("negative batch index ", request.batchIndex));
+    if (request.slot.empty()) bad("empty reply slot");
+    if (!services_.knowsArray(request.array))
+      bad("unknown array (not registered in host memory)");
+  }
+
   void exec(const DmaOp& op) {
     const CopyStmt& stmt = op.stmt;
     sunway::DmaRequest request;
@@ -88,6 +114,8 @@ class Interpreter {
     request.tileCols = stmt.tileCols;
     request.spmOffsetBytes = resolveBuffer(stmt.buffer);
     request.slot = stmt.replySlot;
+    validateDma(request, stmt);
+    pendingDma_[request.slot] = request;
     services_.dmaIssue(request);
   }
 
@@ -113,11 +141,45 @@ class Interpreter {
     request.srcSpmOffsetBytes = resolveBuffer(stmt.rmaSource);
     request.dstSpmOffsetBytes = resolveBuffer(stmt.buffer);
     request.slot = stmt.replySlot;
+    const auto bad = [&](const std::string& what) {
+      throw InputError(
+          strCat("RMA statement '", stmt.name, "': ", what));
+    };
+    if (request.bytes <= 0)
+      bad(strCat("non-positive transfer size ", request.bytes, " bytes"));
+    if (request.srcSpmOffsetBytes < 0 || request.dstSpmOffsetBytes < 0)
+      bad(strCat("negative SPM offset (src ", request.srcSpmOffsetBytes,
+                 ", dst ", request.dstSpmOffsetBytes, ")"));
+    if (request.slot.empty()) bad("empty reply slot");
     services_.rmaIssue(request);
   }
 
   void exec(const WaitOp& op) {
-    services_.waitSlot(op.slot, op.isRma, op.isRowBroadcast);
+    if (op.isRma) {
+      services_.waitSlot(op.slot, /*isRma=*/true, op.isRowBroadcast);
+      return;
+    }
+    // DMA replies can fail transiently under fault injection (dropped or
+    // corrupted tiles).  Re-issue the recorded request with exponential
+    // backoff; a site that keeps failing past the budget escalates to a
+    // ProtocolError so the service layer can degrade.
+    for (int attempt = 0;; ++attempt) {
+      try {
+        services_.waitSlot(op.slot, /*isRma=*/false, op.isRowBroadcast);
+        return;
+      } catch (const TransientError& error) {
+        auto pending = pendingDma_.find(op.slot);
+        if (pending == pendingDma_.end()) throw;  // nothing to re-issue
+        if (attempt >= kMaxDmaRetries)
+          throw ProtocolError(strCat("DMA on slot '", op.slot,
+                                     "' still failing after ", attempt,
+                                     " retries: ", error.what()));
+        services_.noteDmaRetry();
+        services_.stallFor(kRetryBackoffSeconds * static_cast<double>(
+                                                      1 << attempt));
+        services_.dmaIssue(pending->second);
+      }
+    }
   }
 
   void exec(const SyncOp&) { services_.sync(); }
@@ -169,10 +231,18 @@ class Interpreter {
     }
   }
 
+  /// Retry budget for transiently failed DMA and the base backoff stall
+  /// (doubles per attempt: 1 µs, 2 µs, 4 µs of simulated time).
+  static constexpr int kMaxDmaRetries = 3;
+  static constexpr double kRetryBackoffSeconds = 1e-6;
+
   const KernelProgram& program_;
   const ExecScalars scalars_;
   sunway::CpeServices& services_;
   std::map<std::string, std::int64_t> env_;
+  /// Last issued DMA per reply slot, kept so a transiently failed wait can
+  /// re-issue the exact same transfer.
+  std::map<std::string, sunway::DmaRequest> pendingDma_;
 };
 
 }  // namespace

@@ -355,6 +355,127 @@ void KernelService::clearMemoryCache() {
   publishGaugesLocked();
 }
 
+// --- graceful degradation -----------------------------------------------
+
+namespace {
+
+/// Human name of a ladder rung, used in DegradeStep and log lines.
+std::string tierName(const core::CodegenOptions& options) {
+  if (options.useAsm) return "asm-microkernel";
+  if (options.useRma) return "naive-compute";
+  return "no-rma";
+}
+
+/// Metric suffix a downgrade *to* this rung records under service.degrade.
+const char* degradeMetric(const std::string& tier) {
+  if (tier == "naive-compute") return "service.degrade.to_naive";
+  if (tier == "no-rma") return "service.degrade.to_no_rma";
+  return "service.degrade.to_estimator";
+}
+
+void recordDegrade(const std::string& from, const std::string& to,
+                   const std::string& error) {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::global();
+  registry.add("service.degrade.total", 1.0);
+  registry.add(degradeMetric(to), 1.0);
+  trace::Span span("service.degrade",
+                   {trace::arg("from", from), trace::arg("to", to),
+                    trace::arg("error", error)},
+                   "service");
+  SW_WARN("service", "event=degrade from=", from, " to=", to,
+          " error=\"", error, "\"");
+}
+
+}  // namespace
+
+void KernelService::setRunFnForTest(RunFn runFn) {
+  runFn_ = std::move(runFn);
+}
+
+KernelService::ResilientRunResult KernelService::runResilient(
+    const core::CodegenOptions& options, const core::GemmProblem& problem,
+    std::span<const double> a, std::span<const double> b, std::span<double> c,
+    const core::FunctionalRunConfig& runConfig) {
+  trace::Span span("service.resilient_run",
+                   {trace::arg("m", problem.m), trace::arg("n", problem.n),
+                    trace::arg("k", problem.k)},
+                   "service");
+
+  RunFn run = runFn_;
+  if (!run) {
+    run = [this](const core::CompiledKernel& kernel,
+                 const core::GemmProblem& p, std::span<const double> ra,
+                 std::span<const double> rb, std::span<double> rc,
+                 const core::FunctionalRunConfig& rc2) {
+      return core::runGemmFunctional(kernel, arch_, p, ra, rb, rc, rc2);
+    };
+  }
+
+  // The ladder trades performance features for protocol surface: drop the
+  // asm micro-kernel first, then the RMA broadcasts (and with them the
+  // pipelined schedule).  Rungs equal to an earlier one are skipped, so a
+  // request that already is `--no-rma` has a two-rung ladder.
+  std::vector<core::CodegenOptions> rungs;
+  rungs.push_back(options);
+  core::CodegenOptions naive = options;
+  naive.useAsm = false;
+  core::CodegenOptions noRma = naive;
+  noRma.useRma = false;
+  noRma.hideLatency = false;
+  for (const core::CodegenOptions& rung : {naive, noRma}) {
+    const std::string key = core::canonicalRequestKey(rung, arch_);
+    bool duplicate = false;
+    for (const core::CodegenOptions& seen : rungs)
+      duplicate |= core::canonicalRequestKey(seen, arch_) == key;
+    if (!duplicate) rungs.push_back(rung);
+  }
+
+  ResilientRunResult result;
+  std::string lastTier = tierName(options);
+  std::string lastError;
+  KernelPtr lastKernel;
+  // The inputs must survive a failed attempt unmodified, so every rung
+  // works on a private copy of C and only a success is copied back.
+  std::vector<double> scratch;
+  for (const core::CodegenOptions& rung : rungs) {
+    const std::string tier = tierName(rung);
+    if (!lastError.empty()) {
+      recordDegrade(lastTier, tier, lastError);
+      result.degradations.push_back(DegradeStep{lastTier, tier, lastError});
+    }
+    lastTier = tier;
+    try {
+      KernelPtr kernel = compile(rung);
+      lastKernel = kernel;
+      scratch.assign(c.begin(), c.end());
+      result.outcome =
+          run(*kernel, problem, a, b, std::span<double>(scratch), runConfig);
+      std::copy(scratch.begin(), scratch.end(), c.begin());
+      result.servedOptions = rung;
+      return result;
+    } catch (const Error& error) {
+      lastError = error.what();
+    }
+  }
+
+  // Every functional rung failed; the symmetric estimator cannot hang or
+  // race (sequential, no data), so it terminates the ladder with timing
+  // from the safest compiled schedule.  Without any compiled kernel there
+  // is nothing left to serve — surface the last failure.
+  recordDegrade(lastTier, "estimator", lastError);
+  result.degradations.push_back(
+      DegradeStep{lastTier, "estimator", lastError});
+  if (!lastKernel) {
+    throw InternalError(strCat(
+        "resilient run: every schedule rung failed to compile; last error: ",
+        lastError));
+  }
+  result.outcome = core::estimateGemm(*lastKernel, arch_, problem);
+  result.servedOptions = lastKernel->options;
+  result.usedEstimator = true;
+  return result;
+}
+
 // --- manifest parsing ---------------------------------------------------
 
 namespace {

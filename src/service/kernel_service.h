@@ -30,11 +30,13 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/compiler.h"
+#include "core/gemm_runner.h"
 
 namespace sw::service {
 
@@ -135,6 +137,50 @@ class KernelService {
   std::vector<BatchResult> compileBatch(
       const std::vector<core::CodegenOptions>& requests);
 
+  /// One rung-to-rung downgrade runResilient took, oldest first.
+  struct DegradeStep {
+    std::string from;   // tier that failed ("asm-microkernel", ...)
+    std::string to;     // tier tried next
+    std::string error;  // what the failing tier threw
+  };
+
+  struct ResilientRunResult {
+    rt::RunOutcome outcome;
+    /// The options of the schedule that actually produced `c` (equal to
+    /// the request when no downgrade happened); meaningless for data when
+    /// usedEstimator is true.
+    core::CodegenOptions servedOptions;
+    bool usedEstimator = false;
+    std::vector<DegradeStep> degradations;
+  };
+
+  /// Test seam for runResilient's mesh runs: same shape as
+  /// core::runGemmFunctional minus the arch (bound to this service's).
+  using RunFn = std::function<rt::RunOutcome(
+      const core::CompiledKernel&, const core::GemmProblem&,
+      std::span<const double>, std::span<const double>, std::span<double>,
+      const core::FunctionalRunConfig&)>;
+
+  /// Serve-and-run with graceful degradation.  Compiles `options` through
+  /// the cache and runs it functionally; on failure (ProtocolError from a
+  /// hung/faulted mesh, pipeline errors) walks the ladder
+  ///   asm-microkernel → naive compute+RMA → no-RMA schedule → estimator,
+  /// re-running each rung against the untouched inputs.  Every downgrade
+  /// is recorded in the result, `service.degrade.*` metrics and a trace
+  /// span; the terminal estimator rung provides timing only (c is left
+  /// with the last attempt's partial data — callers must treat it as
+  /// invalid when usedEstimator is set).
+  ResilientRunResult runResilient(const core::CodegenOptions& options,
+                                  const core::GemmProblem& problem,
+                                  std::span<const double> a,
+                                  std::span<const double> b,
+                                  std::span<double> c,
+                                  const core::FunctionalRunConfig& runConfig = {});
+
+  /// Substitute the mesh-run step of runResilient (tests force failures
+  /// per rung without building real fault plans).
+  void setRunFnForTest(RunFn runFn);
+
   [[nodiscard]] KernelServiceStats stats() const;
 
   /// Drop the in-memory tier (the disk tier is untouched).
@@ -168,6 +214,7 @@ class KernelService {
   void storeToDisk(const std::string& key, const std::string& serialized);
 
   CompileFn compileFn_;
+  RunFn runFn_;  // empty = core::runGemmFunctional against arch_
   sunway::ArchConfig arch_;
   KernelServiceConfig config_;
 

@@ -92,6 +92,10 @@ class HostMemory {
     SW_CHECK(inserted, strCat("array '", key, "' registered twice"));
   }
 
+  [[nodiscard]] bool has(const std::string& name) const {
+    return arrays_.find(name) != arrays_.end();
+  }
+
   [[nodiscard]] HostArray& get(const std::string& name) {
     auto it = arrays_.find(name);
     SW_CHECK(it != arrays_.end(), strCat("unknown array '", name, "'"));

@@ -2,14 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <exception>
 #include <mutex>
+#include <set>
+#include <sstream>
 #include <thread>
 
 #include "support/error.h"
 #include "support/format.h"
+#include "support/logging.h"
+#include "support/metrics.h"
 #include "support/trace.h"
 
 namespace sw::sunway {
@@ -20,7 +27,36 @@ namespace {
 struct RmaRound {
   double sendTimeSeconds = 0.0;
   double transferSeconds = 0.0;
+  /// Injected transient loss: the round exists (so ordinal matching on the
+  /// slot stays aligned) but carries no data; receivers fail cleanly.
+  bool dropped = false;
 };
+
+/// Snapshot of one CPE's execution state for the watchdog's no-progress
+/// detection and the per-CPE dump attached to its ProtocolError.  Updated
+/// by the owning CPE thread whenever it blocks or resumes.
+struct CpeStatus {
+  enum State { kRunning, kBarrier, kRmaWait, kDmaHang, kDone };
+
+  std::mutex mutex;
+  State state = kRunning;
+  std::string detail;  // what the CPE is blocked on
+  double clock = 0.0;
+  CpeCounters counters;
+  std::map<std::string, std::string> pendingDma;   // slot -> descriptor
+  std::map<std::string, std::size_t> rmaConsumed;  // slot -> rounds consumed
+};
+
+const char* stateName(CpeStatus::State state) {
+  switch (state) {
+    case CpeStatus::kRunning: return "running";
+    case CpeStatus::kBarrier: return "barrier";
+    case CpeStatus::kRmaWait: return "rma-wait";
+    case CpeStatus::kDmaHang: return "dma-hang";
+    case CpeStatus::kDone: return "done";
+  }
+  return "?";
+}
 
 /// Rendezvous channel for one (reply slot, mesh line) pair.  Senders append
 /// rounds; receivers consume them in order (the generated code issues and
@@ -69,6 +105,23 @@ class MeshSimulator::Impl {
   // --- per-CPE SPM (functional mode) ---
   std::vector<std::vector<double>> spms_;
 
+  // --- fault injection & watchdog ---
+  std::shared_ptr<const FaultPlan> faultPlan_;
+  double watchdogMillis_ = MeshSimulator::defaultWatchdogMillis();
+  /// Per-CPE status board (deque: CpeStatus holds a mutex, so entries must
+  /// never move).  Rebuilt at the start of every run.
+  std::deque<CpeStatus> status_;
+  /// Bumped on every status transition; the watchdog reads it to tell a
+  /// slow mesh from a stuck one.
+  std::atomic<std::uint64_t> progress_{0};
+  std::mutex watchdogMutex_;
+  std::condition_variable watchdogCv_;
+  bool watchdogStop_ = false;
+  /// CPEs waiting on a permanently dropped DMA reply park here until the
+  /// watchdog (or another CPE's error) aborts the run.
+  std::mutex hangMutex_;
+  std::condition_variable hangCv_;
+
   // --- error funneling ---
   std::atomic<bool> aborted_{false};
   std::mutex errorMutex_;
@@ -93,22 +146,139 @@ class MeshSimulator::Impl {
     return channel(slot, "@p2p", cpeId, meshSize_);
   }
 
-  void recordError() {
+  void recordError() { abortWith(std::current_exception()); }
+
+  /// Record the first error, flip the abort flag and wake every waiter.
+  /// Each notify happens while holding the mutex its waiters' predicates
+  /// are checked under — notifying without it can land between a waiter's
+  /// predicate check and its sleep and be lost, leaving the mesh hung on
+  /// the very error meant to unblock it.
+  void abortWith(std::exception_ptr error) {
     {
       std::lock_guard<std::mutex> lock(errorMutex_);
-      if (!firstError_) firstError_ = std::current_exception();
+      if (!firstError_) firstError_ = std::move(error);
     }
     aborted_.store(true, std::memory_order_release);
-    // Unblock any waiters (barrier and RMA channels) to avoid deadlock.
-    barrierCv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(barrierMutex_);
+      barrierCv_.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(hangMutex_);
+      hangCv_.notify_all();
+    }
     std::lock_guard<std::mutex> lock(channelsMutex_);
     for (auto& [key, lines] : channels_)
-      for (auto& channel : lines) channel->cv.notify_all();
+      for (auto& channel : lines) {
+        std::lock_guard<std::mutex> channelLock(channel->mutex);
+        channel->cv.notify_all();
+      }
   }
 
   void checkAborted() {
     std::lock_guard<std::mutex> lock(errorMutex_);
     if (firstError_) std::rethrow_exception(firstError_);
+  }
+
+  /// True when no CPE is runnable: every one is parked at a barrier, an RMA
+  /// round wait, or a lost DMA reply — and at least one is not done.  All
+  /// transitions out of those states bump progress_, so this staying true
+  /// across a full watchdog window means the mesh cannot move again.
+  bool allLiveBlocked() {
+    bool anyBlocked = false;
+    for (CpeStatus& status : status_) {
+      std::lock_guard<std::mutex> lock(status.mutex);
+      if (status.state == CpeStatus::kRunning) return false;
+      if (status.state != CpeStatus::kDone) anyBlocked = true;
+    }
+    return anyBlocked;
+  }
+
+  /// The watchdog's deadlock report: one line per CPE with its blocked-on
+  /// site, logical clock, message counters and pending descriptors.
+  std::string buildStateDump(double stalledMillis) {
+    int counts[5] = {0, 0, 0, 0, 0};
+    std::ostringstream os;
+    for (int id = 0; id < meshSize_; ++id) {
+      CpeStatus& status = status_[static_cast<std::size_t>(id)];
+      std::lock_guard<std::mutex> lock(status.mutex);
+      ++counts[status.state];
+      os << "\n  CPE " << id / config_.meshCols << "," << id % config_.meshCols
+         << " state=" << stateName(status.state);
+      if (!status.detail.empty()) os << " blocked_on=\"" << status.detail << '"';
+      os << " clock=" << status.clock << "s dma_msgs="
+         << status.counters.dmaMessages
+         << " rma_sent=" << status.counters.rmaBroadcastsSent
+         << " syncs=" << status.counters.syncs
+         << " faults=" << status.counters.faultsInjected
+         << " retries=" << status.counters.dmaRetries;
+      if (!status.pendingDma.empty()) {
+        os << " pending_dma=[";
+        bool first = true;
+        for (const auto& [slot, desc] : status.pendingDma) {
+          if (!first) os << "; ";
+          first = false;
+          os << desc;
+        }
+        os << "]";
+      }
+      if (!status.rmaConsumed.empty()) {
+        os << " rma_rounds=[";
+        bool first = true;
+        for (const auto& [slot, rounds] : status.rmaConsumed) {
+          if (!first) os << "; ";
+          first = false;
+          os << slot << ":" << rounds;
+        }
+        os << "]";
+      }
+    }
+    return strCat("mesh watchdog: no progress for ", stalledMillis,
+                  " ms — aborting a deadlocked mesh run (",
+                  counts[CpeStatus::kBarrier], " at barrier, ",
+                  counts[CpeStatus::kRmaWait], " waiting on RMA, ",
+                  counts[CpeStatus::kDmaHang], " waiting on a lost DMA reply, ",
+                  counts[CpeStatus::kDone], " done); per-CPE state dump:",
+                  os.str());
+  }
+
+  /// Poll the status board until the run ends; convert a full no-progress
+  /// window into a ProtocolError so a protocol violation diagnoses itself
+  /// instead of hanging the process.
+  void watchdogLoop() {
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        std::chrono::duration<double, std::milli>(watchdogMillis_);
+    auto poll = std::chrono::duration_cast<Clock::duration>(deadline) / 4;
+    const auto minPoll = std::chrono::milliseconds(1);
+    const auto maxPoll = std::chrono::milliseconds(250);
+    if (poll < minPoll) poll = minPoll;
+    if (poll > maxPoll) poll = maxPoll;
+
+    std::uint64_t lastProgress = progress_.load(std::memory_order_acquire);
+    Clock::time_point lastChange = Clock::now();
+    bool fired = false;
+    std::unique_lock<std::mutex> lock(watchdogMutex_);
+    while (!watchdogStop_) {
+      watchdogCv_.wait_for(lock, poll, [&] { return watchdogStop_; });
+      if (watchdogStop_) break;
+      if (fired || aborted_.load(std::memory_order_acquire)) continue;
+      const std::uint64_t now = progress_.load(std::memory_order_acquire);
+      if (now != lastProgress || !allLiveBlocked()) {
+        lastProgress = now;
+        lastChange = Clock::now();
+        continue;
+      }
+      const auto stalled = std::chrono::duration<double, std::milli>(
+          Clock::now() - lastChange);
+      if (stalled < deadline) continue;
+      fired = true;
+      metrics::MetricsRegistry::global().add("watchdog.fired", 1.0);
+      const std::string dump = buildStateDump(stalled.count());
+      SW_WARN("mesh", "event=watchdog.fired stalled_ms=", stalled.count(),
+              " deadline_ms=", watchdogMillis_);
+      abortWith(std::make_exception_ptr(ProtocolError(dump)));
+    }
   }
 };
 
@@ -118,6 +288,7 @@ class ThreadedCpeServices final : public CpeServices {
  public:
   ThreadedCpeServices(MeshSimulator::Impl& mesh, int cpeId)
       : mesh_(mesh),
+        plan_(mesh.faultPlan_.get()),
         cpeId_(cpeId),
         rid_(cpeId / mesh.config_.meshCols),
         cid_(cpeId % mesh.config_.meshCols),
@@ -127,9 +298,50 @@ class ThreadedCpeServices final : public CpeServices {
   [[nodiscard]] int cid() const override { return cid_; }
   [[nodiscard]] bool functional() const override { return mesh_.functional_; }
 
+  [[nodiscard]] bool knowsArray(const std::string& array) const override {
+    return !mesh_.functional_ || mesh_.owner_.memory().has(array);
+  }
+
+  void stallFor(double seconds) override {
+    if (seconds <= 0.0) return;
+    counters_.waitStallSeconds += seconds;
+    clock_ += seconds;
+  }
+
+  void noteDmaRetry() override { ++counters_.dmaRetries; }
+
+  /// Publish this CPE's state to the watchdog's status board.  Every call
+  /// bumps the mesh progress counter, so any state transition restarts the
+  /// no-progress window.
+  void publishStatus(CpeStatus::State state, std::string detail) {
+    CpeStatus& status = mesh_.status_[static_cast<std::size_t>(cpeId_)];
+    {
+      std::lock_guard<std::mutex> lock(status.mutex);
+      status.state = state;
+      status.detail = std::move(detail);
+      status.clock = clock_;
+      status.counters = counters_;
+      status.pendingDma = pendingDma_;
+      status.rmaConsumed = rmaConsumed_;
+    }
+    mesh_.progress_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   void sync() override {
     ++counters_.syncs;
+    if (plan_ != nullptr) {
+      const FaultDecision fault =
+          plan_->decide(FaultOpClass::kSync, cpeId_, syncOccurrence_++);
+      counters_.faultsInjected += fault.injected;
+      if (fault.stallSeconds > 0.0) {
+        // The stalled CPE reaches the barrier late; everyone inherits the
+        // delay through the barrier's clock max.
+        counters_.waitStallSeconds += fault.stallSeconds;
+        clock_ += fault.stallSeconds;
+      }
+    }
     const double entryClock = clock_;
+    publishStatus(CpeStatus::kBarrier, "synch()");
     std::unique_lock<std::mutex> lock(mesh_.barrierMutex_);
     mesh_.clocks_[static_cast<std::size_t>(cpeId_)] = clock_;
     const std::int64_t myGeneration = mesh_.barrierGeneration_;
@@ -144,10 +356,15 @@ class ThreadedCpeServices final : public CpeServices {
         return mesh_.barrierGeneration_ != myGeneration ||
                mesh_.aborted_.load(std::memory_order_acquire);
       });
-      if (mesh_.aborted_.load(std::memory_order_acquire))
+      if (mesh_.aborted_.load(std::memory_order_acquire)) {
+        lock.unlock();
+        publishStatus(CpeStatus::kRunning, "");
         throw ProtocolError("mesh aborted while waiting at a barrier");
+      }
     }
     clock_ = mesh_.barrierMaxClock_ + mesh_.config_.syncSeconds;
+    lock.unlock();
+    publishStatus(CpeStatus::kRunning, "");
     if (tracing_)
       trace::Tracer::global().simSpan(trace::kMeshPid, cpeId_, "sync", "sync",
                                       entryClock, clock_);
@@ -158,13 +375,50 @@ class ThreadedCpeServices final : public CpeServices {
                                static_cast<std::int64_t>(sizeof(double));
     ++counters_.dmaMessages;
     counters_.dmaBytes += bytes;
-    if (mesh_.functional_) moveDmaData(request);
+
+    FaultDecision fault;
+    std::int64_t occurrence = 0;
+    if (plan_ != nullptr) {
+      occurrence = dmaOccurrence_++;
+      fault = plan_->decide(FaultOpClass::kDma, cpeId_, occurrence);
+      counters_.faultsInjected += fault.injected;
+    }
+
+    const bool dropped = fault.dropTransient || fault.dropPermanent;
+    // A detected corruption on a put must not land in host memory — the
+    // simulated ECC rejects the tile, so the site degrades to a transient
+    // failure the interpreter can re-issue.  Corruption on a get lands in
+    // SPM and is then re-fetched clean by the retry.
+    const bool corruptPut = fault.corrupt && request.isPut;
+    if (mesh_.functional_ && !dropped && !corruptPut) {
+      moveDmaData(request);
+      if (fault.corrupt) {
+        double* spm = spmPtrOf(cpeId_, request.spmOffsetBytes);
+        FaultPlan::corruptTile(spm, request.tileRows * request.tileCols,
+                               cpeId_, occurrence);
+      }
+    }
+    if (fault.dropPermanent) {
+      hangSlots_.insert(request.slot);
+    } else if (fault.dropTransient) {
+      failedSlots_[request.slot] = "was dropped in transit (injected fault)";
+    } else if (fault.corrupt) {
+      failedSlots_[request.slot] =
+          request.isPut ? "failed ECC before reaching main memory (injected fault)"
+                        : "arrived corrupted (injected fault)";
+    }
+    pendingDma_[request.slot] =
+        strCat(request.isPut ? "put " : "get ", request.array, " slot=",
+               request.slot, " ", request.tileRows, "x", request.tileCols,
+               "@spm+", request.spmOffsetBytes);
+
     // Non-blocking, but messages from this CPE serialise on its DMA engine;
     // the reply slot was reset by the issue itself (reply = 0; dma_iget(...)
     // pattern of §4).
     const double start = std::max(clock_, dmaEngineBusyUntil_);
-    const double done =
-        start + mesh_.config_.dmaSeconds(bytes, request.tileRows);
+    const double done = start +
+                        mesh_.config_.dmaSeconds(bytes, request.tileRows) +
+                        fault.delaySeconds;
     counters_.dmaBusySeconds += done - start;
     dmaEngineBusyUntil_ = done;
     slotCompletion_[request.slot] = done;
@@ -181,6 +435,13 @@ class ThreadedCpeServices final : public CpeServices {
     SW_CHECK(request.isSender, "rmaIssue called on a non-sender CPE");
     ++counters_.rmaBroadcastsSent;
     counters_.rmaBytesSent += request.bytes;
+
+    FaultDecision fault;
+    if (plan_ != nullptr) {
+      fault = plan_->decide(FaultOpClass::kRma, cpeId_, rmaOccurrence_++);
+      counters_.faultsInjected += fault.injected;
+    }
+
     RmaChannel* channel = nullptr;
     switch (request.kind) {
       case RmaKind::kRowBroadcast:
@@ -199,17 +460,26 @@ class ThreadedCpeServices final : public CpeServices {
         break;
       }
     }
-    if (mesh_.functional_) moveRmaData(request);
-    double transfer = mesh_.config_.rmaSeconds(request.bytes);
+    const bool dropped = fault.dropTransient || fault.dropPermanent;
+    if (mesh_.functional_ && !dropped) moveRmaData(request);
+    double transfer = mesh_.config_.rmaSeconds(request.bytes) +
+                      fault.delaySeconds;
     if (request.kind == RmaKind::kPointToPoint && request.dstRid != rid_ &&
         request.dstCid != cid_)
       transfer *= 2.0;  // transit hop
     counters_.rmaBusySeconds += transfer;
-    {
+    if (fault.dropPermanent) {
+      // The message is simply lost: no round is appended, so every receiver
+      // of this line blocks forever on the slot's next ordinal — the
+      // watchdog's job.  (A transient drop must instead push a failed round
+      // below, or receivers would silently consume the *next* round's data
+      // under this ordinal and produce wrong results.)
+    } else {
       std::lock_guard<std::mutex> lock(channel->mutex);
-      channel->rounds.push_back(RmaRound{clock_, transfer});
+      channel->rounds.push_back(RmaRound{clock_, transfer,
+                                         /*dropped=*/fault.dropTransient});
+      channel->cv.notify_all();
     }
-    channel->cv.notify_all();
     if (tracing_) {
       const char* kind = request.kind == RmaKind::kRowBroadcast
                              ? "rowbcast"
@@ -245,6 +515,14 @@ class ThreadedCpeServices final : public CpeServices {
                                           clock_, it->second);
         clock_ = it->second;
       }
+      if (hangSlots_.count(slot) != 0) hangOnLostReply(slot);  // never returns
+      auto failed = failedSlots_.find(slot);
+      if (failed != failedSlots_.end()) {
+        const std::string reason = failed->second;
+        failedSlots_.erase(failed);
+        throw TransientError(strCat("DMA reply on slot '", slot, "' ", reason));
+      }
+      pendingDma_.erase(slot);
       return;
     }
     waitRma(slot, isRowBroadcast);
@@ -350,18 +628,50 @@ class ThreadedCpeServices final : public CpeServices {
     }
   }
 
+  /// Park until the run aborts: the reply for `slot` will never arrive.
+  /// The watchdog (or an error on another CPE) is what ends the wait.
+  [[noreturn]] void hangOnLostReply(const std::string& slot) {
+    publishStatus(CpeStatus::kDmaHang,
+                  strCat("dma_wait_value slot='", slot,
+                         "' (reply permanently dropped)"));
+    std::unique_lock<std::mutex> lock(mesh_.hangMutex_);
+    mesh_.hangCv_.wait(lock, [&] {
+      return mesh_.aborted_.load(std::memory_order_acquire);
+    });
+    throw ProtocolError(strCat(
+        "mesh aborted while waiting for a lost DMA reply on slot '", slot,
+        "'"));
+  }
+
   /// Block for the next unconsumed round on `channel`; rounds are matched
   /// ordinally per slot (issue/wait strictly alternate in generated code).
   void consumeRound(RmaChannel& channel, const std::string& slot) {
     const std::size_t round = rmaConsumed_[slot]++;
+    bool published = false;
     std::unique_lock<std::mutex> lock(channel.mutex);
+    if (channel.rounds.size() <= round) {
+      // Only publish (and pay the progress tick) when actually blocking.
+      lock.unlock();
+      publishStatus(CpeStatus::kRmaWait,
+                    strCat("rma_wait slot='", slot, "' round=", round));
+      published = true;
+      lock.lock();
+    }
     channel.cv.wait(lock, [&] {
       return channel.rounds.size() > round ||
              mesh_.aborted_.load(std::memory_order_acquire);
     });
-    if (channel.rounds.size() <= round)
+    if (channel.rounds.size() <= round) {
+      lock.unlock();
+      if (published) publishStatus(CpeStatus::kRunning, "");
       throw ProtocolError("mesh aborted while waiting for an RMA message");
-    const RmaRound& r = channel.rounds[round];
+    }
+    const RmaRound r = channel.rounds[round];
+    lock.unlock();
+    if (published) publishStatus(CpeStatus::kRunning, "");
+    if (r.dropped)
+      throw ProtocolError(strCat("RMA round ", round, " on slot '", slot,
+                                 "' was dropped in transit (injected fault)"));
     const double completion = r.sendTimeSeconds + r.transferSeconds;
     if (completion > clock_) {
       counters_.waitStallSeconds += completion - clock_;
@@ -379,6 +689,7 @@ class ThreadedCpeServices final : public CpeServices {
   }
 
   MeshSimulator::Impl& mesh_;
+  const FaultPlan* plan_;  // nullptr when injection is off
   int cpeId_;
   int rid_;
   int cid_;
@@ -388,6 +699,15 @@ class ThreadedCpeServices final : public CpeServices {
   CpeCounters counters_;
   std::map<std::string, double> slotCompletion_;
   std::map<std::string, std::size_t> rmaConsumed_;
+  // Fault bookkeeping: per-op-class ordinals (the plan's occurrence key),
+  // slots whose next wait must fail transiently, slots whose reply is lost
+  // for good, and in-flight descriptors for the watchdog dump.
+  std::int64_t dmaOccurrence_ = 0;
+  std::int64_t rmaOccurrence_ = 0;
+  std::int64_t syncOccurrence_ = 0;
+  std::map<std::string, std::string> failedSlots_;
+  std::set<std::string> hangSlots_;
+  std::map<std::string, std::string> pendingDma_;
 };
 
 }  // namespace
@@ -399,14 +719,41 @@ MeshSimulator::MeshSimulator(const ArchConfig& config, bool functional)
 
 MeshSimulator::~MeshSimulator() = default;
 
+void MeshSimulator::setFaultPlan(std::shared_ptr<const FaultPlan> plan) {
+  impl_->faultPlan_ = std::move(plan);
+}
+
+void MeshSimulator::setWatchdogMillis(double millis) {
+  if (millis >= 0.0) impl_->watchdogMillis_ = millis;
+}
+
+double MeshSimulator::defaultWatchdogMillis() {
+  if (const char* env = std::getenv("SWCODEGEN_WATCHDOG_MS")) {
+    char* end = nullptr;
+    const double value = std::strtod(env, &end);
+    if (end != env && *end == '\0' && value >= 0.0) return value;
+    SW_WARN("mesh", "event=watchdog.bad_env SWCODEGEN_WATCHDOG_MS=", env,
+            " fallback_ms=5000");
+  }
+  return 5000.0;
+}
+
 MeshRunResult MeshSimulator::run(
     const std::function<void(CpeServices&)>& body) {
-  // Fresh per-run state (channels, barrier) while keeping SPM/host memory.
+  // Fresh per-run state (channels, barrier, status board) while keeping
+  // SPM/host memory.
   impl_->channels_.clear();
   impl_->firstError_ = nullptr;
   impl_->aborted_.store(false);
   impl_->barrierArrived_ = 0;
   std::fill(impl_->clocks_.begin(), impl_->clocks_.end(), 0.0);
+  impl_->status_.clear();
+  for (int id = 0; id < impl_->meshSize_; ++id) impl_->status_.emplace_back();
+  impl_->progress_.store(0);
+  {
+    std::lock_guard<std::mutex> lock(impl_->watchdogMutex_);
+    impl_->watchdogStop_ = false;
+  }
 
   if (trace::enabled()) {
     // Name the 64 CPE lanes (plus the DMA/RMA engine side lanes) so the
@@ -430,6 +777,10 @@ MeshRunResult MeshSimulator::run(
   for (int id = 0; id < impl_->meshSize_; ++id)
     services.push_back(std::make_unique<ThreadedCpeServices>(*impl_, id));
 
+  std::thread watchdog;
+  if (impl_->watchdogMillis_ > 0.0)
+    watchdog = std::thread([this] { impl_->watchdogLoop(); });
+
   std::vector<std::thread> threads;
   threads.reserve(services.size());
   for (auto& svc : services) {
@@ -439,9 +790,18 @@ MeshRunResult MeshSimulator::run(
       } catch (...) {
         impl_->recordError();
       }
+      svc->publishStatus(CpeStatus::kDone, "");
     });
   }
   for (std::thread& t : threads) t.join();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->watchdogMutex_);
+      impl_->watchdogStop_ = true;
+    }
+    impl_->watchdogCv_.notify_all();
+    watchdog.join();
+  }
   impl_->checkAborted();
 
   MeshRunResult result;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sunway/arch.h"
+#include "sunway/fault.h"
 #include "sunway/host_memory.h"
 #include "sunway/services.h"
 
@@ -50,6 +51,20 @@ class MeshSimulator {
   [[nodiscard]] HostMemory& memory() { return memory_; }
   [[nodiscard]] const ArchConfig& config() const { return config_; }
   [[nodiscard]] bool functional() const { return functional_; }
+
+  /// Install a fault plan consulted by every CPE's DMA/RMA/sync sites on
+  /// subsequent runs; nullptr (the default) disables injection.
+  void setFaultPlan(std::shared_ptr<const FaultPlan> plan);
+
+  /// No-progress deadline in wall-clock milliseconds.  When every live CPE
+  /// has been blocked (barrier, RMA round, lost DMA reply) with no state
+  /// change for this long, the run aborts with a ProtocolError carrying a
+  /// per-CPE state dump.  0 disables the watchdog; negative keeps
+  /// defaultWatchdogMillis().
+  void setWatchdogMillis(double millis);
+
+  /// SWCODEGEN_WATCHDOG_MS environment override, else 5000 ms.
+  [[nodiscard]] static double defaultWatchdogMillis();
 
   /// athread_spawn + join: run `body` on every CPE concurrently.  The body
   /// receives that CPE's services.  Exceptions thrown by any CPE are

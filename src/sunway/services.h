@@ -78,6 +78,10 @@ struct CpeCounters {
   double rmaBusySeconds = 0.0;
   /// Time the CPE's clock is advanced by reply waits (exposed latency).
   double waitStallSeconds = 0.0;
+  /// Fault-injection sites that fired on this CPE (zero without a plan).
+  std::int64_t faultsInjected = 0;
+  /// DMA operations the interpreter re-issued after a transient failure.
+  std::int64_t dmaRetries = 0;
 
   void add(const CpeCounters& other) {
     dmaMessages += other.dmaMessages;
@@ -90,6 +94,8 @@ struct CpeCounters {
     dmaBusySeconds += other.dmaBusySeconds;
     rmaBusySeconds += other.rmaBusySeconds;
     waitStallSeconds += other.waitStallSeconds;
+    faultsInjected += other.faultsInjected;
+    dmaRetries += other.dmaRetries;
   }
 };
 
@@ -134,6 +140,20 @@ class CpeServices {
   /// Pointer into this CPE's SPM at `offsetBytes` (element-aligned);
   /// nullptr in timing-only mode.
   [[nodiscard]] virtual double* spmPtr(std::int64_t offsetBytes) = 0;
+
+  /// Advance this CPE's clock without doing work — retry backoff.
+  virtual void stallFor(double seconds) { (void)seconds; }
+
+  /// Count one interpreter-level DMA retry against this CPE.
+  virtual void noteDmaRetry() {}
+
+  /// True when `array` resolves in this runtime.  The threaded functional
+  /// runtime checks host memory; timing-only runtimes accept everything
+  /// (they never dereference).
+  [[nodiscard]] virtual bool knowsArray(const std::string& array) const {
+    (void)array;
+    return true;
+  }
 
   [[nodiscard]] virtual double clockSeconds() const = 0;
   [[nodiscard]] virtual const CpeCounters& counters() const = 0;

@@ -39,6 +39,15 @@ class ProtocolError : public Error {
   using Error::Error;
 };
 
+/// Thrown for failures that are expected to succeed on retry (e.g. a
+/// transiently dropped DMA reply under fault injection).  The interpreter
+/// catches these, re-issues the operation with backoff, and escalates to a
+/// ProtocolError once the retry budget is exhausted.
+class TransientError : public Error {
+ public:
+  using Error::Error;
+};
+
 [[noreturn]] inline void throwInternal(std::string message) {
   throw InternalError(std::move(message));
 }

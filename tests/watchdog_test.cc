@@ -1,0 +1,233 @@
+// Mesh watchdog and abort-path coverage: a permanently lost message must
+// turn into a ProtocolError carrying a per-CPE state dump instead of a
+// process hang, a progressing (merely slow) run must never trip the
+// watchdog, and the existing abort machinery — barrier abort propagation,
+// rethrow-after-join, mesh reuse after an aborted run — must preserve the
+// first error verbatim.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "sunway/fault.h"
+#include "sunway/host_memory.h"
+#include "sunway/mesh.h"
+#include "support/error.h"
+#include "support/metrics.h"
+
+namespace sw::sunway {
+namespace {
+
+std::shared_ptr<const FaultPlan> plan(const std::string& text) {
+  return std::make_shared<const FaultPlan>(FaultPlan::parse(text));
+}
+
+/// Run `body` and return the ProtocolError message it aborts with.
+std::string runExpectingProtocolError(
+    MeshSimulator& mesh, const std::function<void(CpeServices&)>& body) {
+  try {
+    mesh.run(body);
+  } catch (const ProtocolError& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "run finished without a ProtocolError";
+  return {};
+}
+
+TEST(Watchdog, PermanentDmaDropFiresWithStateDump) {
+  ArchConfig config;
+  MeshSimulator mesh(config, /*functional=*/true);
+  mesh.memory().add(HostArray::allocate("A", 1, 8, 8));
+  mesh.setFaultPlan(plan("dma-drop:cpe=0:occ=0:count=forever"));
+  mesh.setWatchdogMillis(150.0);
+
+  const double firedBefore =
+      metrics::MetricsRegistry::global().get("watchdog.fired");
+  const std::string message =
+      runExpectingProtocolError(mesh, [&](CpeServices& cpe) {
+        if (cpe.rid() != 0 || cpe.cid() != 0) return;
+        DmaRequest request;
+        request.array = "A";
+        request.tileRows = 2;
+        request.tileCols = 2;
+        request.slot = "lost";
+        cpe.dmaIssue(request);
+        cpe.waitSlot("lost", false, true);  // the reply never arrives
+      });
+
+  // The dump names the deadlock, the hung CPE's state and the in-flight
+  // descriptor, so the failure is diagnosable from the message alone.
+  EXPECT_NE(message.find("mesh watchdog: no progress"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("1 waiting on a lost DMA reply"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("state=dma-hang"), std::string::npos) << message;
+  EXPECT_NE(message.find("slot='lost'"), std::string::npos) << message;
+  EXPECT_NE(message.find("pending_dma=["), std::string::npos) << message;
+  EXPECT_GT(metrics::MetricsRegistry::global().get("watchdog.fired"),
+            firedBefore);
+}
+
+TEST(Watchdog, PermanentRmaDropHangsReceiversThenFires) {
+  ArchConfig config;
+  MeshSimulator mesh(config, /*functional=*/true);
+  // CPE (0,3) is the row-0 sender; losing its broadcast strands the other
+  // seven receivers of row 0 in an RMA wait (the rest of the mesh waits
+  // too — every CPE of a row participates in the broadcast wait).
+  mesh.setFaultPlan(plan("rma-drop:cpe=3:occ=0:count=forever"));
+  mesh.setWatchdogMillis(150.0);
+
+  const std::string message =
+      runExpectingProtocolError(mesh, [&](CpeServices& cpe) {
+        if (cpe.rid() != 0) return;
+        cpe.spmPtr(1024)[0] = 7.0;
+        if (cpe.cid() == 3) {
+          RmaRequest request;
+          request.kind = RmaKind::kRowBroadcast;
+          request.isSender = true;
+          request.bytes = 8;
+          request.srcSpmOffsetBytes = 1024;
+          request.dstSpmOffsetBytes = 0;
+          request.slot = "bc";
+          cpe.rmaIssue(request);
+        }
+        cpe.waitSlot("bc", true, true);
+      });
+
+  EXPECT_NE(message.find("mesh watchdog: no progress"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("waiting on RMA"), std::string::npos) << message;
+  EXPECT_NE(message.find("state=rma-wait"), std::string::npos) << message;
+}
+
+TEST(Watchdog, MissingBarrierParticipantFires) {
+  ArchConfig config;
+  MeshSimulator mesh(config, /*functional=*/false);
+  mesh.setWatchdogMillis(150.0);
+
+  // CPE (0,0) skips the barrier: 63 CPEs park forever — the classic
+  // generated-code bug (divergent control flow around synch()).
+  const std::string message = runExpectingProtocolError(
+      mesh, [&](CpeServices& cpe) {
+        if (cpe.rid() == 0 && cpe.cid() == 0) return;
+        cpe.sync();
+      });
+
+  EXPECT_NE(message.find("63 at barrier"), std::string::npos) << message;
+  EXPECT_NE(message.find("1 done"), std::string::npos) << message;
+  EXPECT_NE(message.find("state=barrier"), std::string::npos) << message;
+}
+
+TEST(Watchdog, SlowButProgressingRunDoesNotFire) {
+  ArchConfig config;
+  MeshSimulator mesh(config, /*functional=*/false);
+  mesh.setWatchdogMillis(120.0);
+
+  // Total wall-clock far exceeds the deadline, but every barrier round
+  // publishes progress, so the no-progress timer keeps resetting.
+  MeshRunResult result = mesh.run([&](CpeServices& cpe) {
+    for (int round = 0; round < 6; ++round) {
+      if (cpe.rid() == 0 && cpe.cid() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      cpe.sync();
+    }
+  });
+  EXPECT_EQ(result.totals.syncs, 64 * 6);
+}
+
+TEST(Watchdog, DefaultDeadlineReadsEnvironment) {
+  ::setenv("SWCODEGEN_WATCHDOG_MS", "1234.5", 1);
+  EXPECT_DOUBLE_EQ(MeshSimulator::defaultWatchdogMillis(), 1234.5);
+  ::setenv("SWCODEGEN_WATCHDOG_MS", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(MeshSimulator::defaultWatchdogMillis(), 5000.0);
+  ::unsetenv("SWCODEGEN_WATCHDOG_MS");
+  EXPECT_DOUBLE_EQ(MeshSimulator::defaultWatchdogMillis(), 5000.0);
+}
+
+// --- existing abort paths (satellite: ProtocolError coverage) -----------
+
+TEST(Abort, BarrierAbortPreservesFirstError) {
+  ArchConfig config;
+  MeshSimulator mesh(config, /*functional=*/false);
+  mesh.setWatchdogMillis(0.0);  // the abort path must not need the watchdog
+
+  // One CPE throws while the other 63 wait at the barrier; the barrier
+  // must unblock them and the *original* error must win over the
+  // secondary "aborted while waiting" ones raised at the barrier.
+  const std::string message =
+      runExpectingProtocolError(mesh, [&](CpeServices& cpe) {
+        if (cpe.rid() == 2 && cpe.cid() == 5)
+          throw ProtocolError("injected failure in CPE 2,5");
+        cpe.sync();
+      });
+  EXPECT_EQ(message, "injected failure in CPE 2,5");
+}
+
+TEST(Abort, MeshIsReusableAfterAbortedRun) {
+  ArchConfig config;
+  MeshSimulator mesh(config, /*functional=*/false);
+  mesh.setWatchdogMillis(0.0);
+
+  EXPECT_THROW(mesh.run([&](CpeServices& cpe) {
+    if (cpe.rid() == 0 && cpe.cid() == 1)
+      throw ProtocolError("first run dies");
+    cpe.sync();
+  }),
+               ProtocolError);
+
+  // run() resets the abort/error/barrier state, so the same simulator
+  // must complete a healthy run afterwards.
+  MeshRunResult result = mesh.run([&](CpeServices& cpe) {
+    cpe.computeTime(1.0e3, ComputeRate::kElementwise);
+    cpe.sync();
+  });
+  EXPECT_EQ(result.totals.syncs, 64);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(Abort, SpmOutOfBoundsCarriesCpeCoordinates) {
+  ArchConfig config;
+  MeshSimulator mesh(config, /*functional=*/true);
+  mesh.setWatchdogMillis(0.0);
+  const std::string message =
+      runExpectingProtocolError(mesh, [&](CpeServices& cpe) {
+        if (cpe.rid() != 7 || cpe.cid() != 7) return;
+        (void)cpe.spmPtr(config.spmBytes);  // one byte past the SPM
+      });
+  EXPECT_NE(message.find("SPM"), std::string::npos) << message;
+}
+
+TEST(Abort, WatchdogDisabledStillDiagnosesTransientRmaDrop) {
+  // A finite rma-drop is *not* a hang: the round arrives marked dropped
+  // and every receiver throws a clean ProtocolError naming the round.
+  ArchConfig config;
+  MeshSimulator mesh(config, /*functional=*/true);
+  mesh.setFaultPlan(plan("rma-drop:cpe=3:occ=0:count=1"));
+  mesh.setWatchdogMillis(0.0);
+
+  const std::string message =
+      runExpectingProtocolError(mesh, [&](CpeServices& cpe) {
+        if (cpe.rid() != 0) return;
+        cpe.spmPtr(1024)[0] = 7.0;
+        if (cpe.cid() == 3) {
+          RmaRequest request;
+          request.kind = RmaKind::kRowBroadcast;
+          request.isSender = true;
+          request.bytes = 8;
+          request.srcSpmOffsetBytes = 1024;
+          request.dstSpmOffsetBytes = 0;
+          request.slot = "bc";
+          cpe.rmaIssue(request);
+        }
+        cpe.waitSlot("bc", true, true);
+      });
+  EXPECT_NE(message.find("dropped in transit (injected fault)"),
+            std::string::npos)
+      << message;
+}
+
+}  // namespace
+}  // namespace sw::sunway

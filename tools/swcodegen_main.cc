@@ -28,6 +28,8 @@
 #include "core/gemm_runner.h"
 #include "core/kernel_serdes.h"
 #include "service/kernel_service.h"
+#include "sunway/fault.h"
+#include "sunway/mesh.h"
 #include "support/digest.h"
 #include "support/error.h"
 #include "support/logging.h"
@@ -61,6 +63,16 @@ void usage(std::FILE* out) {
       "  --cache-dir DIR    persistent kernel cache: repeated compiles of\n"
       "                     the same options+architecture are served from\n"
       "                     disk without re-running the pipeline\n"
+      "  --inject SPEC      run a chaos smoke: functional mesh run under a\n"
+      "                     deterministic fault plan with retry and\n"
+      "                     graceful degradation.  SPEC is ';'-separated\n"
+      "                     faults kind[:cpe=N|*][:occ=N][:count=N|forever]\n"
+      "                     [:seconds=X][:rate=P][:seed=N], kind one of\n"
+      "                     dma-drop dma-corrupt dma-delay rma-drop\n"
+      "                     rma-delay stall\n"
+      "  --watchdog-ms N    mesh no-progress deadline in milliseconds\n"
+      "                     (0 disables; default 5000 or\n"
+      "                     $SWCODEGEN_WATCHDOG_MS)\n"
       "  --warm SHAPES      pre-compile a comma-separated list of tile\n"
       "                     shapes (e.g. 64x64x32,32x32x32) on the worker\n"
       "                     pool, then exit (no INPUT.c needed)\n"
@@ -73,9 +85,10 @@ void usage(std::FILE* out) {
       "  -h, --help         show this help and exit\n"
       "\n"
       "environment:\n"
-      "  SWCODEGEN_LOG        debug|info|warn — structured log threshold\n"
-      "  SWCODEGEN_TRACE      path — enable tracing and write there on exit\n"
-      "  SWCODEGEN_CACHE_DIR  default for --cache-dir\n");
+      "  SWCODEGEN_LOG         debug|info|warn — structured log threshold\n"
+      "  SWCODEGEN_TRACE       path — enable tracing and write there on exit\n"
+      "  SWCODEGEN_CACHE_DIR   default for --cache-dir\n"
+      "  SWCODEGEN_WATCHDOG_MS default for --watchdog-ms\n");
 }
 
 std::string readFile(const std::string& path) {
@@ -164,8 +177,87 @@ void printRunMetrics(const char* title, const sw::rt::RunOutcome& outcome,
               static_cast<long long>(outcome.counters.rmaBroadcastsSent));
   std::printf("  %-24s %12lld\n", "mesh barriers",
               static_cast<long long>(outcome.counters.syncs));
+  if (outcome.counters.faultsInjected > 0 || outcome.counters.dmaRetries > 0) {
+    std::printf("  %-24s %12lld\n", "faults injected",
+                static_cast<long long>(outcome.counters.faultsInjected));
+    std::printf("  %-24s %12lld\n", "DMA retries",
+                static_cast<long long>(outcome.counters.dmaRetries));
+  }
   (void)arch;
   std::printf("\n");
+}
+
+/// --inject: compile-and-run the smoke shape twice — once fault-free, once
+/// under the plan through the resilient service path — and verify the
+/// recovered result bit-for-bit against the baseline.  Degradations and a
+/// machine-greppable `result=` verdict are printed; returns nonzero only
+/// when the faulted run produced wrong data.
+int runChaosSmoke(sw::service::KernelService& service,
+                  const sw::core::CompiledKernel& kernel,
+                  const sw::sunway::ArchConfig& arch,
+                  std::shared_ptr<const sw::sunway::FaultPlan> plan,
+                  double watchdogMillis) {
+  const sw::core::PaddedShape shape =
+      sw::core::padShape(1, 1, 1, kernel.options, arch);
+  const std::int64_t batch = kernel.options.batched ? 2 : 1;
+  const std::int64_t m = shape.m, n = shape.n, k = 2 * shape.k;
+  const std::vector<double> a = randomMatrix(batch * m * k, 1);
+  const std::vector<double> b = randomMatrix(batch * k * n, 2);
+  const std::vector<double> c0 = randomMatrix(batch * m * n, 3);
+  const sw::core::GemmProblem problem{m, n, k, batch};
+
+  const double effectiveWatchdog =
+      watchdogMillis >= 0.0 ? watchdogMillis
+                            : sw::sunway::MeshSimulator::defaultWatchdogMillis();
+  std::printf("fault injection: %s (watchdog %.0f ms)\n",
+              plan->describe().c_str(), effectiveWatchdog);
+
+  std::vector<double> baseline = c0;
+  sw::core::runGemmFunctional(kernel, arch, problem, a, b, baseline);
+
+  std::vector<double> faulted = c0;
+  sw::core::FunctionalRunConfig runConfig;
+  runConfig.faultPlan = std::move(plan);
+  runConfig.watchdogMillis = watchdogMillis;
+  const sw::service::KernelService::ResilientRunResult result =
+      service.runResilient(kernel.options, problem, a, b, faulted, runConfig);
+
+  for (const sw::service::KernelService::DegradeStep& step :
+       result.degradations)
+    std::printf("  degraded %s -> %s: %s\n", step.from.c_str(),
+                step.to.c_str(), step.error.c_str());
+  std::printf("  faults injected=%lld dma retries=%lld watchdog fired=%g\n",
+              static_cast<long long>(result.outcome.counters.faultsInjected),
+              static_cast<long long>(result.outcome.counters.dmaRetries),
+              sw::metrics::MetricsRegistry::global().get("watchdog.fired"));
+
+  if (result.usedEstimator) {
+    std::printf("chaos smoke: result=degraded-to-estimator (timing only, "
+                "%.2f GFLOPS modelled)\n",
+                result.outcome.gflops);
+    return 0;
+  }
+  if (!result.degradations.empty()) {
+    // A downgraded schedule computes the same GEMM but may associate
+    // floating-point sums differently; bit-comparison is only meaningful
+    // against the same schedule.
+    std::printf("chaos smoke: result=recovered-by-degradation "
+                "(served %s schedule)\n",
+                result.servedOptions.useAsm
+                    ? "asm"
+                    : (result.servedOptions.useRma ? "naive" : "no-rma"));
+    return 0;
+  }
+  if (std::memcmp(baseline.data(), faulted.data(),
+                  baseline.size() * sizeof(double)) != 0) {
+    std::fprintf(stderr,
+                 "chaos smoke: result=MISMATCH — faulted run diverged from "
+                 "the fault-free baseline\n");
+    return 1;
+  }
+  std::printf("chaos smoke: result=bit-correct after %lld retries\n",
+              static_cast<long long>(result.outcome.counters.dmaRetries));
+  return 0;
 }
 
 /// Strict positive-integer parse for CLI arguments; returns false on any
@@ -176,6 +268,16 @@ bool parsePositiveLong(const char* text, long* out) {
   char* end = nullptr;
   const long v = std::strtol(text, &end, 10);
   if (*end != '\0' || errno == ERANGE || v <= 0) return false;
+  *out = v;
+  return true;
+}
+
+/// Non-negative double parse for --watchdog-ms (0 disables the watchdog).
+bool parseNonNegativeDouble(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (*end != '\0' || v < 0.0) return false;
   *out = v;
   return true;
 }
@@ -235,6 +337,8 @@ int main(int argc, char** argv) {
   std::string cacheDir;
   std::string warmShapes;
   std::string batchManifestPath;
+  std::string injectSpec;
+  double watchdogMillis = -1.0;  // negative = library default
   long jobs = 0;
   bool dumpSchedule = false;
   bool profile = false;
@@ -280,6 +384,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       cacheDir = argv[++i];
+    } else if (arg == "--inject") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "swcodegen: --inject requires a fault spec (e.g. "
+                     "dma-drop:cpe=0:occ=1)\n");
+        return 2;
+      }
+      injectSpec = argv[++i];
+    } else if (arg == "--watchdog-ms") {
+      if (i + 1 >= argc ||
+          !parseNonNegativeDouble(argv[i + 1], &watchdogMillis)) {
+        std::fprintf(stderr,
+                     "swcodegen: --watchdog-ms requires a non-negative "
+                     "millisecond count (0 disables)\n");
+        return 2;
+      }
+      ++i;
     } else if (arg == "--warm") {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
@@ -352,6 +473,33 @@ int main(int argc, char** argv) {
   if (inputPath.empty() && !batchMode) {
     usage(stderr);
     return 2;
+  }
+
+  // Bad invocations exit 2 before any compilation work: an unparsable fault
+  // plan, --inject without a compile, or an unreadable input file.
+  std::shared_ptr<const sw::sunway::FaultPlan> faultPlan;
+  if (!injectSpec.empty()) {
+    if (batchMode) {
+      std::fprintf(stderr,
+                   "swcodegen: --inject runs a functional chaos smoke and "
+                   "needs an INPUT.c compile, not --warm/--serve-batch\n");
+      return 2;
+    }
+    try {
+      faultPlan = std::make_shared<const sw::sunway::FaultPlan>(
+          sw::sunway::FaultPlan::parse(injectSpec));
+    } catch (const sw::InputError& e) {
+      std::fprintf(stderr, "swcodegen: error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!inputPath.empty()) {
+    std::ifstream probe(inputPath);
+    if (!probe) {
+      std::fprintf(stderr, "swcodegen: error: cannot open input file '%s'\n",
+                   inputPath.c_str());
+      return 2;
+    }
   }
 
   // The CLI surfaces warnings by default; an explicit $SWCODEGEN_LOG still
@@ -451,8 +599,13 @@ int main(int argc, char** argv) {
     // A functional mesh run lights up the 64 per-CPE trace lanes and the
     // threaded-runtime metrics.
     sw::rt::RunOutcome smoke;
-    const bool wantSmoke = !tracePath.empty() || profile;
+    const bool wantSmoke = (!tracePath.empty() || profile) && !faultPlan;
     if (wantSmoke) smoke = runFunctionalSmoke(kernel, compiler.arch());
+
+    int chaosRc = 0;
+    if (faultPlan)
+      chaosRc = runChaosSmoke(service, kernel, compiler.arch(), faultPlan,
+                              watchdogMillis);
 
     if (profile) {
       std::printf("\n");
@@ -483,9 +636,14 @@ int main(int argc, char** argv) {
                   tracePath.c_str(),
                   sw::trace::Tracer::global().eventCount());
     }
+    return chaosRc;
   } catch (const sw::Error& e) {
     std::fprintf(stderr, "swcodegen: error: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    // Nothing below sw::Error should escape; if something does, fail with
+    // a one-line diagnostic instead of a raw terminate trace.
+    std::fprintf(stderr, "swcodegen: internal error: %s\n", e.what());
+    return 1;
   }
-  return 0;
 }
