@@ -1,6 +1,7 @@
 #include "core/compiler.h"
 
 #include "codegen/athread_printer.h"
+#include "runtime/plan.h"
 #include "support/logging.h"
 #include "support/trace.h"
 
@@ -30,6 +31,12 @@ CompiledKernel SwGemmCompiler::compile(const CodegenOptions& options) const {
     kernel.mpeSource = std::move(sources.mpe);
     printSpan.addArg(trace::arg(
         "cpeBytes", static_cast<std::int64_t>(kernel.cpeSource.size())));
+  }
+  {
+    trace::Span lowerSpan("lower.plan");
+    kernel.plan = rt::lowerToPlan(kernel.program);
+    lowerSpan.addArg(trace::arg(
+        "instructions", static_cast<std::int64_t>(kernel.plan->code.size())));
   }
   SW_DEBUG("compiler", "event=compile_done kernel=", kernel.program.name,
            " spm_bytes=", kernel.program.spmBytesUsed());

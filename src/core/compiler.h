@@ -6,12 +6,17 @@
 // sources, and the schedule-tree dumps of every pipeline stage.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "codegen/program.h"
 #include "core/options.h"
 #include "core/pipeline.h"
 #include "sunway/arch.h"
+
+namespace sw::rt {
+struct ExecutionPlan;
+}
 
 namespace sw::core {
 
@@ -26,6 +31,10 @@ struct CompiledKernel {
   std::string initialTreeDump;
   std::string tiledTreeDump;
   std::string finalTreeDump;
+  /// Lowered hot-path execution plan (runtime/plan.h), produced once here
+  /// and shared by every run of this kernel.  Not serialized — re-lowered
+  /// when a kernel is loaded from the persistent cache.
+  std::shared_ptr<const rt::ExecutionPlan> plan;
 };
 
 class SwGemmCompiler {

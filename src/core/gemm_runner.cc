@@ -76,9 +76,11 @@ rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
   auto params = rt::bindParams(kernel.program, padded.m, padded.n, padded.k,
                                problem.batch);
   rt::ExecScalars scalars{problem.alpha, problem.beta};
+  const rt::ExecutionPlan* plan =
+      runConfig.engine == rt::ExecEngine::kPlan ? kernel.plan.get() : nullptr;
   rt::RunOutcome outcome = rt::runOnMesh(
       mesh, kernel.program, params, scalars,
-      rt::gemmFlops(problem.m, problem.n, problem.k, problem.batch));
+      rt::gemmFlops(problem.m, problem.n, problem.k, problem.batch), plan);
 
   unpackPadded(c, mesh.memory().get("C"), problem.batch, problem.m,
                problem.n);
@@ -99,7 +101,8 @@ rt::RunOutcome estimateGemm(const CompiledKernel& kernel,
                                problem.batch);
   return rt::estimateTiming(
       arch, kernel.program, params,
-      rt::gemmFlops(problem.m, problem.n, problem.k, problem.batch));
+      rt::gemmFlops(problem.m, problem.n, problem.k, problem.batch),
+      kernel.plan.get());
 }
 
 }  // namespace sw::core

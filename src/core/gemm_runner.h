@@ -28,6 +28,10 @@ struct FunctionalRunConfig {
   /// No-progress deadline; negative keeps the mesh default
   /// (SWCODEGEN_WATCHDOG_MS or 5000 ms), 0 disables the watchdog.
   double watchdogMillis = -1.0;
+  /// Per-CPE engine: the lowered plan by default (falls back to the
+  /// tree-walk when the kernel carries no plan), or the tree-walking
+  /// reference interpreter.
+  rt::ExecEngine engine = rt::ExecEngine::kPlan;
 };
 
 /// Run the compiled kernel functionally on the 64-thread mesh simulator.

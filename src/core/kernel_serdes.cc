@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "runtime/plan.h"
 #include "support/error.h"
 #include "support/format.h"
 
@@ -504,6 +505,8 @@ CompiledKernel deserializeCompiledKernel(const std::string& text) {
   kernel.finalTreeDump = r.str();
   r.expectTag("end");
   if (!r.atEnd()) r.throwCorrupt("trailing bytes after kernel");
+  // The execution plan is derived state: re-lower instead of serializing.
+  kernel.plan = rt::lowerToPlan(kernel.program);
   return kernel;
 }
 

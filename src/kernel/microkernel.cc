@@ -6,9 +6,13 @@ namespace sw::kernel {
 
 namespace {
 
-/// 4x8 register block: accumulates C[4][8] over the full k depth before
-/// touching memory again, mirroring the register allocation the vendor
-/// routine performs between SPM and the CPE register file.
+/// MR x NR register block: accumulates C[MR][NR] over the full k depth
+/// before touching memory again, mirroring the register allocation the
+/// vendor routine performs between SPM and the CPE register file.  The
+/// inner NR loop runs over a contiguous row of B (stride-1 loads), so the
+/// host compiler auto-vectorises it into FMA lanes.  The per-element
+/// accumulation order (p ascending into acc, one add to C) is the
+/// bit-identity contract shared with dgemmNaiveKernel.
 template <int MR, int NR>
 void registerBlock(double* __restrict c, const double* __restrict a,
                    const double* __restrict b, std::int64_t n, std::int64_t k,
@@ -17,7 +21,7 @@ void registerBlock(double* __restrict c, const double* __restrict a,
   for (int i = 0; i < MR; ++i)
     for (int j = 0; j < NR; ++j) acc[i][j] = 0.0;
   for (std::int64_t p = 0; p < k; ++p) {
-    const double* brow = b + p * ldb;
+    const double* __restrict brow = b + p * ldb;
     for (int i = 0; i < MR; ++i) {
       const double av = a[i * k + p];
       for (int j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
@@ -27,12 +31,38 @@ void registerBlock(double* __restrict c, const double* __restrict a,
     for (int j = 0; j < NR; ++j) c[i * n + j] += acc[i][j];
 }
 
-}  // namespace
+/// Copy a k x NR column panel of B (row stride ldb) into a contiguous,
+/// cache-line-aligned panel so every registerBlock pass over the same
+/// columns reads unit-stride aligned memory.  Values are copied verbatim:
+/// packing cannot change the accumulation result.
+template <int NR>
+void packBPanel(double* __restrict dst, const double* __restrict b,
+                std::int64_t k, std::int64_t ldb) {
+  for (std::int64_t p = 0; p < k; ++p)
+    for (int j = 0; j < NR; ++j) dst[p * NR + j] = b[p * ldb + j];
+}
 
-void dgemmMicroKernel(double* c, const double* a, const double* b,
-                      std::int64_t m, std::int64_t n, std::int64_t k) {
-  constexpr int MR = 4;
-  constexpr int NR = 8;
+/// Fully static-shape kernel: the compiler sees every trip count, so the
+/// whole nest unrolls and vectorises without runtime-bound checks.  B is
+/// packed once per NR-column panel and reused by all M/MR row blocks.
+template <int M, int N, int K, int MR, int NR>
+void fixedShapeKernel(double* __restrict c, const double* __restrict a,
+                      const double* __restrict b) {
+  static_assert(M % MR == 0 && N % NR == 0,
+                "fixed shape must tile exactly into register blocks");
+  alignas(64) double bpack[K * NR];
+  for (int j = 0; j < N; j += NR) {
+    packBPanel<NR>(bpack, b + j, K, N);
+    for (int i = 0; i < M; i += MR)
+      registerBlock<MR, NR>(c + i * N + j, a + i * K, bpack, N, K, NR);
+  }
+}
+
+/// Generic fallback for shapes the fixed path does not cover.
+template <int MR, int NR>
+void blockedKernel(double* __restrict c, const double* __restrict a,
+                   const double* __restrict b, std::int64_t m, std::int64_t n,
+                   std::int64_t k) {
   std::int64_t i = 0;
   for (; i + MR <= m; i += MR) {
     std::int64_t j = 0;
@@ -54,6 +84,26 @@ void dgemmMicroKernel(double* c, const double* a, const double* b,
       for (std::int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
       c[i * n + j] += acc;
     }
+}
+
+}  // namespace
+
+void dgemmMicroKernel(double* c, const double* a, const double* b,
+                      std::int64_t m, std::int64_t n, std::int64_t k) {
+  constexpr int MR = 4;
+  constexpr int NR = 8;
+  // The vendor contract shape gets the packed-B, fully unrolled path; the
+  // half-size tile (used by fused/strip-mined schedules) gets a static
+  // shape of its own.  Both accumulate identically to the generic path.
+  if (m == kMicroM && n == kMicroN && k == kMicroK) {
+    fixedShapeKernel<64, 64, 32, MR, NR>(c, a, b);
+    return;
+  }
+  if (m == 32 && n == 32 && k == 32) {
+    fixedShapeKernel<32, 32, 32, MR, NR>(c, a, b);
+    return;
+  }
+  blockedKernel<MR, NR>(c, a, b, m, n, k);
 }
 
 void dgemmNaiveKernel(double* c, const double* a, const double* b,

@@ -4,6 +4,9 @@
 // 64x64x32 routine (§7.2): same shape contract (C 64x64 += A 64x32 * B
 // 32x64, all tiles contiguous row-major in SPM), implemented with register
 // blocking and unrolling so the host compiler emits FMA-vectorised code.
+// The contract shape dispatches to a fully static MRxNR-templated kernel
+// with a packed, cache-line-aligned B panel (unit-stride inner loop);
+// other shapes fall back to a runtime-bound blocked nest.
 // dgemmNaiveKernel is the straightforward nest the --no-use-asm path runs.
 //
 // The timing simulator charges these at ArchConfig rates; functionally both

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/plan.h"
 #include "sunway/estimator.h"
 #include "support/error.h"
 #include "support/format.h"
@@ -65,15 +66,20 @@ double gemmFlops(std::int64_t m, std::int64_t n, std::int64_t k,
 RunOutcome runOnMesh(sunway::MeshSimulator& mesh,
                      const codegen::KernelProgram& program,
                      const std::map<std::string, std::int64_t>& params,
-                     const ExecScalars& scalars, double reportedFlops) {
+                     const ExecScalars& scalars, double reportedFlops,
+                     const ExecutionPlan* plan) {
   trace::Span span("run.mesh",
                    {trace::arg("kernel", program.name),
+                    trace::arg("engine", plan != nullptr ? "plan" : "tree"),
                     trace::arg("functional",
                                mesh.functional() ? "true" : "false")},
                    "run");
   sunway::MeshRunResult meshResult =
       mesh.run([&](sunway::CpeServices& services) {
-        runCpeProgram(program, params, scalars, services);
+        if (plan != nullptr)
+          runCpePlan(*plan, params, scalars, services);
+        else
+          runCpeProgram(program, params, scalars, services);
       });
   RunOutcome outcome;
   outcome.seconds = meshResult.seconds;
@@ -102,11 +108,16 @@ RunOutcome runOnMesh(sunway::MeshSimulator& mesh,
 RunOutcome estimateTiming(const sunway::ArchConfig& config,
                           const codegen::KernelProgram& program,
                           const std::map<std::string, std::int64_t>& params,
-                          double reportedFlops) {
-  trace::Span span("run.estimate", {trace::arg("kernel", program.name)},
+                          double reportedFlops, const ExecutionPlan* plan) {
+  trace::Span span("run.estimate",
+                   {trace::arg("kernel", program.name),
+                    trace::arg("engine", plan != nullptr ? "plan" : "tree")},
                    "run");
   sunway::SymmetricCpeServices services(config);
-  runCpeProgram(program, params, ExecScalars{}, services);
+  if (plan != nullptr)
+    runCpePlan(*plan, params, ExecScalars{}, services);
+  else
+    runCpeProgram(program, params, ExecScalars{}, services);
   RunOutcome outcome;
   outcome.seconds = services.totalSeconds();
   outcome.gflops = reportedFlops / outcome.seconds / 1e9;

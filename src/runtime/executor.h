@@ -15,6 +15,16 @@
 
 namespace sw::rt {
 
+struct ExecutionPlan;
+
+/// Which per-CPE engine executes the program: the lowered register-machine
+/// plan (default whenever a plan is supplied) or the legacy tree-walking
+/// interpreter (the reference semantics).
+enum class ExecEngine {
+  kPlan,
+  kTreeWalk,
+};
+
 struct RunOutcome {
   double seconds = 0.0;
   double gflops = 0.0;
@@ -42,17 +52,21 @@ double gemmFlops(std::int64_t m, std::int64_t n, std::int64_t k,
                  std::int64_t batch = 1);
 
 /// Execute on the (threaded) mesh simulator.  `mesh.memory()` must already
-/// hold the arrays the program accesses when the mesh is functional.
+/// hold the arrays the program accesses when the mesh is functional.  When
+/// `plan` is non-null each CPE runs the lowered plan; otherwise the
+/// tree-walking interpreter (identical results either way).
 RunOutcome runOnMesh(sunway::MeshSimulator& mesh,
                      const codegen::KernelProgram& program,
                      const std::map<std::string, std::int64_t>& params,
-                     const ExecScalars& scalars, double reportedFlops);
+                     const ExecScalars& scalars, double reportedFlops,
+                     const ExecutionPlan* plan = nullptr);
 
 /// Estimate timing with the sequential symmetric single-CPE model; scales
-/// to paper-sized shapes.
+/// to paper-sized shapes.  `plan` selects the engine as in runOnMesh.
 RunOutcome estimateTiming(const sunway::ArchConfig& config,
                           const codegen::KernelProgram& program,
                           const std::map<std::string, std::int64_t>& params,
-                          double reportedFlops);
+                          double reportedFlops,
+                          const ExecutionPlan* plan = nullptr);
 
 }  // namespace sw::rt

@@ -44,20 +44,50 @@ class Interpreter {
                                         op.v);
   }
 
+  /// RAII save/restore of one env binding, so a shadowed outer variable
+  /// reappears (instead of vanishing) when the inner scope exits.
+  class ScopedBinding {
+   public:
+    ScopedBinding(std::map<std::string, std::int64_t>& env,
+                  const std::string& var)
+        : env_(env), var_(var) {
+      auto it = env_.find(var_);
+      if (it != env_.end()) {
+        hadOuter_ = true;
+        outerValue_ = it->second;
+      }
+    }
+    ~ScopedBinding() {
+      if (hadOuter_)
+        env_[var_] = outerValue_;
+      else
+        env_.erase(var_);
+    }
+    ScopedBinding(const ScopedBinding&) = delete;
+    ScopedBinding& operator=(const ScopedBinding&) = delete;
+
+   private:
+    std::map<std::string, std::int64_t>& env_;
+    const std::string& var_;
+    bool hadOuter_ = false;
+    std::int64_t outerValue_ = 0;
+  };
+
   void exec(const LoopOp& loop) {
     const std::int64_t begin = loop.begin.evaluate(env_);
     const std::int64_t end = loop.end.evaluate(env_);
+    ScopedBinding scope(env_, loop.var);
     for (std::int64_t v = begin; v < end; ++v) {
       env_[loop.var] = v;
       execute(loop.body);
     }
-    env_.erase(loop.var);
   }
 
   void exec(const AssignOp& assign) {
-    env_[assign.var] = assign.value.evaluate(env_);
+    const std::int64_t value = assign.value.evaluate(env_);
+    ScopedBinding scope(env_, assign.var);
+    env_[assign.var] = value;
     execute(assign.body);
-    env_.erase(assign.var);
   }
 
   /// Resolve a buffer reference to an SPM byte offset, honouring the

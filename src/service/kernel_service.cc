@@ -12,6 +12,7 @@
 #include "codegen/athread_printer.h"
 #include "core/kernel_serdes.h"
 #include "frontend/pattern.h"
+#include "runtime/plan.h"
 #include "support/digest.h"
 #include "support/error.h"
 #include "support/format.h"
@@ -135,8 +136,12 @@ KernelService::KernelPtr KernelService::produce(
     return fromDisk;
   }
 
+  core::CompiledKernel compiled = compileFn_(options);
+  // Custom CompileFn implementations (test doubles) may hand back plan-less
+  // kernels; every kernel served by the cache carries its lowered plan.
+  if (!compiled.plan) compiled.plan = rt::lowerToPlan(compiled.program);
   auto kernel =
-      std::make_shared<const core::CompiledKernel>(compileFn_(options));
+      std::make_shared<const core::CompiledKernel>(std::move(compiled));
   const std::string serialized = serializeCompiledKernel(*kernel);
   storeToDisk(key, serialized);
   std::lock_guard<std::mutex> lock(mutex_);

@@ -14,8 +14,8 @@
 #pragma once
 
 #include <algorithm>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "sunway/arch.h"
 #include "sunway/services.h"
@@ -61,7 +61,9 @@ class SymmetricCpeServices final : public CpeServices {
         start + config_.dmaSeconds(bytes, request.tileRows);
     counters_.dmaBusySeconds += done - start;
     dmaEngineBusyUntil_ = done;
-    slotCompletion_[request.slot] = done;
+    setCompletion(request.slotId >= 0 ? request.slotId
+                                      : internSlot(request.slot),
+                  done);
     if (tracing_)
       trace::Tracer::global().simSpan(
           trace::kEstimatorPid, trace::kDmaLaneOffset,
@@ -77,7 +79,9 @@ class SymmetricCpeServices final : public CpeServices {
     double transfer = config_.rmaSeconds(request.bytes);
     if (request.kind == RmaKind::kPointToPoint) transfer *= 2.0;  // worst hop
     counters_.rmaBusySeconds += transfer;
-    slotCompletion_[request.slot] = clock_ + transfer;
+    setCompletion(request.slotId >= 0 ? request.slotId
+                                      : internSlot(request.slot),
+                  clock_ + transfer);
     if (tracing_)
       trace::Tracer::global().simSpan(
           trace::kEstimatorPid, trace::kRmaLaneOffset,
@@ -92,21 +96,31 @@ class SymmetricCpeServices final : public CpeServices {
     waitSlot(slot, /*isRma=*/true, /*isRowBroadcast=*/false);
   }
 
+  void rmaWaitPointId(int slotId) override {
+    waitSlotId(slotId, /*isRma=*/true, /*isRowBroadcast=*/false);
+  }
+
   void waitSlot(const std::string& slot, bool isRma,
                 bool isRowBroadcast) override {
+    waitSlotId(internSlot(slot), isRma, isRowBroadcast);
+  }
+
+  void waitSlotId(int slotId, bool isRma, bool isRowBroadcast) override {
     (void)isRma;
     (void)isRowBroadcast;
-    auto it = slotCompletion_.find(slot);
-    if (it == slotCompletion_.end())
-      throw ProtocolError(
-          strCat("wait on slot '", slot, "' with no message in flight"));
-    if (it->second > clock_) {
-      counters_.waitStallSeconds += it->second - clock_;
+    const auto index = static_cast<std::size_t>(slotId);
+    if (index >= slotCompletion_.size() || !slotHasMessage_[index])
+      throw ProtocolError(strCat("wait on slot '",
+                                 slotNames_.at(index),
+                                 "' with no message in flight"));
+    const double completion = slotCompletion_[index];
+    if (completion > clock_) {
+      counters_.waitStallSeconds += completion - clock_;
       if (tracing_)
         trace::Tracer::global().simSpan(trace::kEstimatorPid, 0,
-                                        strCat("wait:", slot), "stall",
-                                        clock_, it->second);
-      clock_ = it->second;
+                                        strCat("wait:", slotNames_.at(index)),
+                                        "stall", clock_, completion);
+      clock_ = completion;
     }
   }
 
@@ -152,12 +166,25 @@ class SymmetricCpeServices final : public CpeServices {
  private:
   static constexpr double kIssueOverheadSeconds = 0.05e-6;
 
+  /// Vector-indexed per-slot completion clocks (ids from the inherited
+  /// per-instance interner); the hot path never hashes slot names.
+  void setCompletion(int slotId, double done) {
+    const auto index = static_cast<std::size_t>(slotId);
+    if (index >= slotCompletion_.size()) {
+      slotCompletion_.resize(index + 1, 0.0);
+      slotHasMessage_.resize(index + 1, 0);
+    }
+    slotCompletion_[index] = done;
+    slotHasMessage_[index] = 1;
+  }
+
   const ArchConfig& config_;
   bool tracing_;
   double clock_ = 0.0;
   double dmaEngineBusyUntil_ = 0.0;
   CpeCounters counters_;
-  std::map<std::string, double> slotCompletion_;
+  std::vector<double> slotCompletion_;
+  std::vector<unsigned char> slotHasMessage_;
 };
 
 }  // namespace sw::sunway

@@ -9,9 +9,9 @@
 #include <deque>
 #include <exception>
 #include <mutex>
-#include <set>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 #include "support/error.h"
 #include "support/format.h"
@@ -32,6 +32,17 @@ struct RmaRound {
   bool dropped = false;
 };
 
+/// Compact record of one in-flight DMA, kept as interned ids so the issue
+/// path never formats strings; the watchdog dump resolves names lazily.
+struct PendingDmaInfo {
+  int slotId = -1;
+  int arrayId = -1;
+  bool isPut = false;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t spmOffsetBytes = 0;
+};
+
 /// Snapshot of one CPE's execution state for the watchdog's no-progress
 /// detection and the per-CPE dump attached to its ProtocolError.  Updated
 /// by the owning CPE thread whenever it blocks or resumes.
@@ -43,8 +54,8 @@ struct CpeStatus {
   std::string detail;  // what the CPE is blocked on
   double clock = 0.0;
   CpeCounters counters;
-  std::map<std::string, std::string> pendingDma;   // slot -> descriptor
-  std::map<std::string, std::size_t> rmaConsumed;  // slot -> rounds consumed
+  std::vector<PendingDmaInfo> pendingDma;
+  std::vector<std::pair<int, std::size_t>> rmaConsumed;  // slotId -> rounds
 };
 
 const char* stateName(CpeStatus::State state) {
@@ -98,9 +109,51 @@ class MeshSimulator::Impl {
   double barrierMaxClock_ = 0.0;
   std::vector<double> clocks_;
 
-  // --- RMA channels, keyed by slot then mesh line ---
+  // --- mesh-wide interners: slot / array names -> dense ids shared by
+  // every CPE, so RMA channel lines and lowered-plan bindings agree across
+  // the mesh regardless of per-CPE interning order.  Ids are stable across
+  // runs; per-run state (channels, rounds) is reset separately. ---
+  std::mutex internMutex_;
+  std::unordered_map<std::string, int> slotIdByName_;
+  std::vector<std::string> slotNameTable_;
+  std::unordered_map<std::string, int> arrayIdByName_;
+  std::vector<std::string> arrayNameTable_;
+
+  int internSlotMeshWide(const std::string& name) {
+    std::lock_guard<std::mutex> lock(internMutex_);
+    auto [it, inserted] =
+        slotIdByName_.emplace(name, static_cast<int>(slotNameTable_.size()));
+    if (inserted) slotNameTable_.push_back(name);
+    return it->second;
+  }
+  int internArrayMeshWide(const std::string& name) {
+    std::lock_guard<std::mutex> lock(internMutex_);
+    auto [it, inserted] =
+        arrayIdByName_.emplace(name, static_cast<int>(arrayNameTable_.size()));
+    if (inserted) arrayNameTable_.push_back(name);
+    return it->second;
+  }
+  std::string slotName(int id) {
+    std::lock_guard<std::mutex> lock(internMutex_);
+    if (id < 0 || static_cast<std::size_t>(id) >= slotNameTable_.size())
+      return "?";
+    return slotNameTable_[static_cast<std::size_t>(id)];
+  }
+  std::string arrayName(int id) {
+    std::lock_guard<std::mutex> lock(internMutex_);
+    if (id < 0 || static_cast<std::size_t>(id) >= arrayNameTable_.size())
+      return "?";
+    return arrayNameTable_[static_cast<std::size_t>(id)];
+  }
+
+  // --- RMA channels, indexed by interned slot id then mesh line ---
+  struct SlotChannels {
+    std::vector<std::unique_ptr<RmaChannel>> row;
+    std::vector<std::unique_ptr<RmaChannel>> col;
+    std::vector<std::unique_ptr<RmaChannel>> p2p;
+  };
   std::mutex channelsMutex_;
-  std::map<std::string, std::vector<std::unique_ptr<RmaChannel>>> channels_;
+  std::vector<std::unique_ptr<SlotChannels>> channels_;
 
   // --- per-CPE SPM (functional mode) ---
   std::vector<std::vector<double>> spms_;
@@ -128,22 +181,30 @@ class MeshSimulator::Impl {
   std::exception_ptr firstError_;
 
   /// Rendezvous channels: broadcasts use one channel per mesh line,
-  /// point-to-point one channel per destination CPE.
-  RmaChannel& channel(const std::string& slot, const char* scope, int index,
-                      int scopeSize) {
+  /// point-to-point one channel per destination CPE.  RmaChannel objects
+  /// never move once created, so the returned reference stays valid while
+  /// the table grows.
+  RmaChannel& channel(int slotId,
+                      std::vector<std::unique_ptr<RmaChannel>>
+                          SlotChannels::*scope,
+                      int index, int scopeSize) {
     std::lock_guard<std::mutex> lock(channelsMutex_);
-    auto& lines = channels_[slot + scope];
+    if (channels_.size() <= static_cast<std::size_t>(slotId))
+      channels_.resize(static_cast<std::size_t>(slotId) + 1);
+    auto& entry = channels_[static_cast<std::size_t>(slotId)];
+    if (!entry) entry = std::make_unique<SlotChannels>();
+    auto& lines = (*entry).*scope;
     if (lines.empty())
       for (int i = 0; i < scopeSize; ++i)
         lines.push_back(std::make_unique<RmaChannel>());
     return *lines.at(static_cast<std::size_t>(index));
   }
-  RmaChannel& lineChannel(const std::string& slot, bool isRow, int line) {
-    return channel(slot, isRow ? "@row" : "@col", line,
-                   isRow ? config_.meshRows : config_.meshCols);
+  RmaChannel& lineChannel(int slotId, bool isRow, int line) {
+    return channel(slotId, isRow ? &SlotChannels::row : &SlotChannels::col,
+                   line, isRow ? config_.meshRows : config_.meshCols);
   }
-  RmaChannel& pointChannel(const std::string& slot, int cpeId) {
-    return channel(slot, "@p2p", cpeId, meshSize_);
+  RmaChannel& pointChannel(int slotId, int cpeId) {
+    return channel(slotId, &SlotChannels::p2p, cpeId, meshSize_);
   }
 
   void recordError() { abortWith(std::current_exception()); }
@@ -168,11 +229,14 @@ class MeshSimulator::Impl {
       hangCv_.notify_all();
     }
     std::lock_guard<std::mutex> lock(channelsMutex_);
-    for (auto& [key, lines] : channels_)
-      for (auto& channel : lines) {
-        std::lock_guard<std::mutex> channelLock(channel->mutex);
-        channel->cv.notify_all();
-      }
+    for (auto& entry : channels_) {
+      if (!entry) continue;
+      for (auto* lines : {&entry->row, &entry->col, &entry->p2p})
+        for (auto& channel : *lines) {
+          std::lock_guard<std::mutex> channelLock(channel->mutex);
+          channel->cv.notify_all();
+        }
+    }
   }
 
   void checkAborted() {
@@ -215,20 +279,22 @@ class MeshSimulator::Impl {
       if (!status.pendingDma.empty()) {
         os << " pending_dma=[";
         bool first = true;
-        for (const auto& [slot, desc] : status.pendingDma) {
+        for (const PendingDmaInfo& dma : status.pendingDma) {
           if (!first) os << "; ";
           first = false;
-          os << desc;
+          os << (dma.isPut ? "put " : "get ") << arrayName(dma.arrayId)
+             << " slot=" << slotName(dma.slotId) << " " << dma.rows << "x"
+             << dma.cols << "@spm+" << dma.spmOffsetBytes;
         }
         os << "]";
       }
       if (!status.rmaConsumed.empty()) {
         os << " rma_rounds=[";
         bool first = true;
-        for (const auto& [slot, rounds] : status.rmaConsumed) {
+        for (const auto& [slotId, rounds] : status.rmaConsumed) {
           if (!first) os << "; ";
           first = false;
-          os << slot << ":" << rounds;
+          os << slotName(slotId) << ":" << rounds;
         }
         os << "]";
       }
@@ -302,6 +368,21 @@ class ThreadedCpeServices final : public CpeServices {
     return !mesh_.functional_ || mesh_.owner_.memory().has(array);
   }
 
+  /// Mesh-wide interning (all CPEs agree on ids) with a per-CPE memo so
+  /// the legacy string path never takes the mesh mutex twice per name.
+  [[nodiscard]] int internSlot(const std::string& name) override {
+    auto it = localSlotIds_.find(name);
+    if (it != localSlotIds_.end()) return it->second;
+    const int id = mesh_.internSlotMeshWide(name);
+    localSlotIds_.emplace(name, id);
+    return id;
+  }
+
+  [[nodiscard]] int internArray(const std::string& name) override {
+    if (!knowsArray(name)) return -1;
+    return arrayNameId(name);
+  }
+
   void stallFor(double seconds) override {
     if (seconds <= 0.0) return;
     counters_.waitStallSeconds += seconds;
@@ -321,8 +402,15 @@ class ThreadedCpeServices final : public CpeServices {
       status.detail = std::move(detail);
       status.clock = clock_;
       status.counters = counters_;
-      status.pendingDma = pendingDma_;
-      status.rmaConsumed = rmaConsumed_;
+      status.pendingDma.clear();
+      status.rmaConsumed.clear();
+      for (std::size_t id = 0; id < slots_.size(); ++id) {
+        const SlotState& slot = slots_[id];
+        if (slot.pendingValid) status.pendingDma.push_back(slot.pending);
+        if (slot.rmaConsumed > 0)
+          status.rmaConsumed.emplace_back(static_cast<int>(id),
+                                          slot.rmaConsumed);
+      }
     }
     mesh_.progress_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -371,6 +459,8 @@ class ThreadedCpeServices final : public CpeServices {
   }
 
   void dmaIssue(const DmaRequest& request) override {
+    const int slotId =
+        request.slotId >= 0 ? request.slotId : internSlot(request.slot);
     const std::int64_t bytes = request.tileRows * request.tileCols *
                                static_cast<std::int64_t>(sizeof(double));
     ++counters_.dmaMessages;
@@ -398,19 +488,25 @@ class ThreadedCpeServices final : public CpeServices {
                                cpeId_, occurrence);
       }
     }
+    SlotState& slot = slotState(slotId);
     if (fault.dropPermanent) {
-      hangSlots_.insert(request.slot);
+      slot.hang = true;
     } else if (fault.dropTransient) {
-      failedSlots_[request.slot] = "was dropped in transit (injected fault)";
+      slot.failedReason = "was dropped in transit (injected fault)";
     } else if (fault.corrupt) {
-      failedSlots_[request.slot] =
-          request.isPut ? "failed ECC before reaching main memory (injected fault)"
-                        : "arrived corrupted (injected fault)";
+      slot.failedReason =
+          request.isPut
+              ? "failed ECC before reaching main memory (injected fault)"
+              : "arrived corrupted (injected fault)";
     }
-    pendingDma_[request.slot] =
-        strCat(request.isPut ? "put " : "get ", request.array, " slot=",
-               request.slot, " ", request.tileRows, "x", request.tileCols,
-               "@spm+", request.spmOffsetBytes);
+    slot.pendingValid = true;
+    slot.pending.slotId = slotId;
+    slot.pending.arrayId =
+        request.arrayId >= 0 ? request.arrayId : arrayNameId(request.array);
+    slot.pending.isPut = request.isPut;
+    slot.pending.rows = request.tileRows;
+    slot.pending.cols = request.tileCols;
+    slot.pending.spmOffsetBytes = request.spmOffsetBytes;
 
     // Non-blocking, but messages from this CPE serialise on its DMA engine;
     // the reply slot was reset by the issue itself (reply = 0; dma_iget(...)
@@ -421,7 +517,8 @@ class ThreadedCpeServices final : public CpeServices {
                         fault.delaySeconds;
     counters_.dmaBusySeconds += done - start;
     dmaEngineBusyUntil_ = done;
-    slotCompletion_[request.slot] = done;
+    slot.completion = done;
+    slot.hasMessage = true;
     clock_ += issueOverheadSeconds;
     if (tracing_)
       trace::Tracer::global().simSpan(
@@ -442,13 +539,15 @@ class ThreadedCpeServices final : public CpeServices {
       counters_.faultsInjected += fault.injected;
     }
 
+    const int slotId =
+        request.slotId >= 0 ? request.slotId : internSlot(request.slot);
     RmaChannel* channel = nullptr;
     switch (request.kind) {
       case RmaKind::kRowBroadcast:
-        channel = &mesh_.lineChannel(request.slot, /*isRow=*/true, rid_);
+        channel = &mesh_.lineChannel(slotId, /*isRow=*/true, rid_);
         break;
       case RmaKind::kColBroadcast:
-        channel = &mesh_.lineChannel(request.slot, /*isRow=*/false, cid_);
+        channel = &mesh_.lineChannel(slotId, /*isRow=*/false, cid_);
         break;
       case RmaKind::kPointToPoint: {
         // Messages that leave both the row and the column of the sender
@@ -456,7 +555,7 @@ class ThreadedCpeServices final : public CpeServices {
         // hop as a second transfer.
         const int target =
             request.dstRid * mesh_.config_.meshCols + request.dstCid;
-        channel = &mesh_.pointChannel(request.slot, target);
+        channel = &mesh_.pointChannel(slotId, target);
         break;
       }
     }
@@ -496,36 +595,47 @@ class ThreadedCpeServices final : public CpeServices {
   }
 
   void rmaWaitPoint(const std::string& slot) override {
-    RmaChannel& channel = mesh_.pointChannel(slot, cpeId_);
-    consumeRound(channel, slot);
+    rmaWaitPointId(internSlot(slot));
+  }
+
+  void rmaWaitPointId(int slotId) override {
+    RmaChannel& channel = mesh_.pointChannel(slotId, cpeId_);
+    consumeRound(channel, slotId);
   }
 
   void waitSlot(const std::string& slot, bool isRma,
                 bool isRowBroadcast) override {
+    waitSlotId(internSlot(slot), isRma, isRowBroadcast);
+  }
+
+  void waitSlotId(int slotId, bool isRma, bool isRowBroadcast) override {
     if (!isRma) {
-      auto it = slotCompletion_.find(slot);
-      if (it == slotCompletion_.end())
-        throw ProtocolError(
-            strCat("dma_wait_value on slot '", slot, "' with no message"));
-      if (it->second > clock_) {
-        counters_.waitStallSeconds += it->second - clock_;
+      SlotState& slot = slotState(slotId);
+      if (!slot.hasMessage)
+        throw ProtocolError(strCat("dma_wait_value on slot '",
+                                   mesh_.slotName(slotId),
+                                   "' with no message"));
+      if (slot.completion > clock_) {
+        counters_.waitStallSeconds += slot.completion - clock_;
         if (tracing_)
-          trace::Tracer::global().simSpan(trace::kMeshPid, cpeId_,
-                                          strCat("wait:", slot), "stall",
-                                          clock_, it->second);
-        clock_ = it->second;
+          trace::Tracer::global().simSpan(
+              trace::kMeshPid, cpeId_,
+              strCat("wait:", mesh_.slotName(slotId)), "stall", clock_,
+              slot.completion);
+        clock_ = slot.completion;
       }
-      if (hangSlots_.count(slot) != 0) hangOnLostReply(slot);  // never returns
-      auto failed = failedSlots_.find(slot);
-      if (failed != failedSlots_.end()) {
-        const std::string reason = failed->second;
-        failedSlots_.erase(failed);
-        throw TransientError(strCat("DMA reply on slot '", slot, "' ", reason));
+      if (slot.hang) hangOnLostReply(mesh_.slotName(slotId));  // never returns
+      if (slot.failedReason != nullptr) {
+        const char* reason = slot.failedReason;
+        slot.failedReason = nullptr;
+        throw TransientError(strCat("DMA reply on slot '",
+                                    mesh_.slotName(slotId), "' ", reason));
       }
-      pendingDma_.erase(slot);
+      slot.pendingValid = false;
       return;
     }
-    waitRma(slot, isRowBroadcast);
+    const int line = isRowBroadcast ? rid_ : cid_;
+    consumeRound(mesh_.lineChannel(slotId, isRowBroadcast, line), slotId);
   }
 
   void computeTime(double flops, ComputeRate rate) override {
@@ -582,8 +692,33 @@ class ThreadedCpeServices final : public CpeServices {
     return spm.data() + offsetBytes / static_cast<std::int64_t>(sizeof(double));
   }
 
+  /// Memoized mesh-wide id of an array name (dump/bookkeeping; no validity
+  /// semantics — internArray is the public, validity-checking entry point).
+  int arrayNameId(const std::string& name) {
+    auto it = localArrayIds_.find(name);
+    if (it != localArrayIds_.end()) return it->second;
+    const int id = mesh_.internArrayMeshWide(name);
+    localArrayIds_.emplace(name, id);
+    return id;
+  }
+
+  /// Resolve the host array, through the interned-id cache when the request
+  /// carries one (HostMemory is node-based, so cached pointers are stable).
+  HostArray& hostArray(const DmaRequest& request) {
+    if (request.arrayId >= 0) {
+      const auto id = static_cast<std::size_t>(request.arrayId);
+      if (id < arrayCache_.size() && arrayCache_[id] != nullptr)
+        return *arrayCache_[id];
+      HostArray& array = mesh_.owner_.memory().get(request.array);
+      if (id >= arrayCache_.size()) arrayCache_.resize(id + 1, nullptr);
+      arrayCache_[id] = &array;
+      return array;
+    }
+    return mesh_.owner_.memory().get(request.array);
+  }
+
   void moveDmaData(const DmaRequest& request) {
-    HostArray& array = mesh_.owner_.memory().get(request.array);
+    HostArray& array = hostArray(request);
     SW_CHECK(array.hasData(), "functional DMA against a virtual array");
     double* spm = spmPtrOf(cpeId_, request.spmOffsetBytes);
     // Validate the SPM side of the transfer fits.
@@ -645,15 +780,16 @@ class ThreadedCpeServices final : public CpeServices {
 
   /// Block for the next unconsumed round on `channel`; rounds are matched
   /// ordinally per slot (issue/wait strictly alternate in generated code).
-  void consumeRound(RmaChannel& channel, const std::string& slot) {
-    const std::size_t round = rmaConsumed_[slot]++;
+  void consumeRound(RmaChannel& channel, int slotId) {
+    const std::size_t round = slotState(slotId).rmaConsumed++;
     bool published = false;
     std::unique_lock<std::mutex> lock(channel.mutex);
     if (channel.rounds.size() <= round) {
       // Only publish (and pay the progress tick) when actually blocking.
       lock.unlock();
       publishStatus(CpeStatus::kRmaWait,
-                    strCat("rma_wait slot='", slot, "' round=", round));
+                    strCat("rma_wait slot='", mesh_.slotName(slotId),
+                           "' round=", round));
       published = true;
       lock.lock();
     }
@@ -670,22 +806,39 @@ class ThreadedCpeServices final : public CpeServices {
     lock.unlock();
     if (published) publishStatus(CpeStatus::kRunning, "");
     if (r.dropped)
-      throw ProtocolError(strCat("RMA round ", round, " on slot '", slot,
+      throw ProtocolError(strCat("RMA round ", round, " on slot '",
+                                 mesh_.slotName(slotId),
                                  "' was dropped in transit (injected fault)"));
     const double completion = r.sendTimeSeconds + r.transferSeconds;
     if (completion > clock_) {
       counters_.waitStallSeconds += completion - clock_;
       if (tracing_)
-        trace::Tracer::global().simSpan(trace::kMeshPid, cpeId_,
-                                        strCat("wait:", slot), "stall",
-                                        clock_, completion);
+        trace::Tracer::global().simSpan(
+            trace::kMeshPid, cpeId_,
+            strCat("wait:", mesh_.slotName(slotId)), "stall", clock_,
+            completion);
       clock_ = completion;
     }
   }
 
-  void waitRma(const std::string& slot, bool isRow) {
-    const int line = isRow ? rid_ : cid_;
-    consumeRound(mesh_.lineChannel(slot, isRow, line), slot);
+  /// Per-slot state indexed by the mesh-wide interned slot id: DMA
+  /// completion clock, injected-failure flags, RMA round ordinal and the
+  /// in-flight descriptor for the watchdog dump.  Vector-indexed so the
+  /// interned hot path is one load, no hashing.
+  struct SlotState {
+    double completion = 0.0;
+    bool hasMessage = false;
+    bool hang = false;                   // reply permanently dropped
+    const char* failedReason = nullptr;  // transient failure, cleared by wait
+    std::size_t rmaConsumed = 0;
+    bool pendingValid = false;
+    PendingDmaInfo pending;
+  };
+
+  SlotState& slotState(int slotId) {
+    if (slots_.size() <= static_cast<std::size_t>(slotId))
+      slots_.resize(static_cast<std::size_t>(slotId) + 1);
+    return slots_[static_cast<std::size_t>(slotId)];
   }
 
   MeshSimulator::Impl& mesh_;
@@ -697,17 +850,17 @@ class ThreadedCpeServices final : public CpeServices {
   double clock_ = 0.0;
   double dmaEngineBusyUntil_ = 0.0;
   CpeCounters counters_;
-  std::map<std::string, double> slotCompletion_;
-  std::map<std::string, std::size_t> rmaConsumed_;
-  // Fault bookkeeping: per-op-class ordinals (the plan's occurrence key),
-  // slots whose next wait must fail transiently, slots whose reply is lost
-  // for good, and in-flight descriptors for the watchdog dump.
+  std::vector<SlotState> slots_;
+  // Fault bookkeeping: per-op-class ordinals (the plan's occurrence key).
   std::int64_t dmaOccurrence_ = 0;
   std::int64_t rmaOccurrence_ = 0;
   std::int64_t syncOccurrence_ = 0;
-  std::map<std::string, std::string> failedSlots_;
-  std::set<std::string> hangSlots_;
-  std::map<std::string, std::string> pendingDma_;
+  /// Per-CPE memos of mesh-wide interning results (the legacy string path
+  /// pays one hash here instead of the mesh mutex).
+  std::unordered_map<std::string, int> localSlotIds_;
+  std::unordered_map<std::string, int> localArrayIds_;
+  /// HostArray pointers by interned array id, resolved lazily per run.
+  std::vector<HostArray*> arrayCache_;
 };
 
 }  // namespace

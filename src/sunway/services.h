@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace sw::sunway {
 
@@ -33,6 +34,12 @@ struct DmaRequest {
   std::int64_t tileCols = 0;  // Y_tau  (== len)
   std::int64_t spmOffsetBytes = 0;
   std::string slot;
+  /// Dense ids interned via CpeServices::internArray / internSlot.  The
+  /// lowered-plan executor binds these once per run so the hot path never
+  /// hashes the strings above; negative means "not interned" and the
+  /// runtime interns the string fields on the fly (legacy tree-walk path).
+  int arrayId = -1;
+  int slotId = -1;
 };
 
 /// The three RMA manners of §5 (Fig.8): point-to-point between two CPEs,
@@ -52,6 +59,9 @@ struct RmaRequest {
   std::int64_t srcSpmOffsetBytes = 0;  // sender-side staging buffer
   std::int64_t dstSpmOffsetBytes = 0;  // receive buffer
   std::string slot;
+  /// Dense id interned via CpeServices::internSlot; negative means "not
+  /// interned" (the runtime interns `slot` on the fly).
+  int slotId = -1;
   /// Point-to-point only: mesh coordinates of the destination CPE.
   int dstRid = 0;
   int dstCid = 0;
@@ -157,6 +167,47 @@ class CpeServices {
 
   [[nodiscard]] virtual double clockSeconds() const = 0;
   [[nodiscard]] virtual const CpeCounters& counters() const = 0;
+
+  /// Intern a reply-slot name into this runtime's dense id space.  Plan
+  /// executors bind names once per run and then issue integer-keyed
+  /// requests, so the hot path never hashes strings.  The threaded mesh
+  /// overrides this with a mesh-wide table so RMA channel ids agree across
+  /// all CPEs regardless of per-CPE interning order.
+  [[nodiscard]] virtual int internSlot(const std::string& name) {
+    for (std::size_t i = 0; i < slotNames_.size(); ++i) {
+      if (slotNames_[i] == name) return static_cast<int>(i);
+    }
+    slotNames_.push_back(name);
+    return static_cast<int>(slotNames_.size()) - 1;
+  }
+
+  /// Intern a global-array name; negative result means the runtime does not
+  /// know the array (timing-only runtimes know everything and never return
+  /// negative).
+  [[nodiscard]] virtual int internArray(const std::string& name) {
+    for (std::size_t i = 0; i < arrayNames_.size(); ++i) {
+      if (arrayNames_[i] == name) return static_cast<int>(i);
+    }
+    arrayNames_.push_back(name);
+    return static_cast<int>(arrayNames_.size()) - 1;
+  }
+
+  /// Integer-keyed variant of waitSlot; `slotId` must come from internSlot
+  /// on the same services object.  The base default shims to the string
+  /// API; fast runtimes override it with a vector-indexed lookup.
+  virtual void waitSlotId(int slotId, bool isRma, bool isRowBroadcast) {
+    waitSlot(slotNames_.at(static_cast<std::size_t>(slotId)), isRma,
+             isRowBroadcast);
+  }
+
+  /// Integer-keyed variant of rmaWaitPoint.
+  virtual void rmaWaitPointId(int slotId) {
+    rmaWaitPoint(slotNames_.at(static_cast<std::size_t>(slotId)));
+  }
+
+ protected:
+  std::vector<std::string> slotNames_;
+  std::vector<std::string> arrayNames_;
 };
 
 }  // namespace sw::sunway

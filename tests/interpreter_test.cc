@@ -94,6 +94,48 @@ TEST(Interpreter, LoopVarOutOfScopeAfterLoop) {
                sw::InternalError);
 }
 
+TEST(Interpreter, ShadowedLoopVarRestoredAfterInnerLoop) {
+  // Regression: the inner loop shadows the outer 'x'; leaving the inner
+  // scope used to erase the binding outright, so the DMA that follows saw
+  // 'x' as unbound.  It must see the outer iteration value again.
+  KernelProgram program = skeleton();
+  codegen::OpList inner;
+  inner.push_back(Op{SyncOp{}});
+  codegen::OpList outerBody;
+  outerBody.push_back(Op{LoopOp{"x", Extent::constant(0), Extent::constant(2),
+                                std::move(inner)}});
+  outerBody.push_back(Op{codegen::DmaOp{dmaGetA("", 0)}});
+  outerBody.push_back(Op{WaitOp{"r", false, true}});
+  program.body.push_back(Op{LoopOp{"x", Extent::constant(0),
+                                   Extent::constant(3),
+                                   std::move(outerBody)}});
+  sunway::SymmetricCpeServices cpe(sunway::ArchConfig{});
+  runCpeProgram(program, {{"M", 128}, {"N", 64}, {"K", 64}}, ExecScalars{},
+                cpe);
+  EXPECT_EQ(cpe.counters().dmaMessages, 3);
+  EXPECT_EQ(cpe.counters().syncs, 6);
+}
+
+TEST(Interpreter, ShadowedAssignRestoresOuterBinding) {
+  // Same hazard through AssignOp: a nested assign to 'x' must not destroy
+  // the surrounding loop's binding when its body ends.
+  KernelProgram program = skeleton();
+  codegen::OpList assignBody;
+  assignBody.push_back(Op{SyncOp{}});
+  codegen::OpList loopBody;
+  loopBody.push_back(Op{AssignOp{"x", Extent::constant(0),
+                                 std::move(assignBody)}});
+  loopBody.push_back(Op{codegen::DmaOp{dmaGetA("", 0)}});
+  loopBody.push_back(Op{WaitOp{"r", false, true}});
+  program.body.push_back(Op{LoopOp{"x", Extent::constant(1),
+                                   Extent::constant(3),
+                                   std::move(loopBody)}});
+  sunway::SymmetricCpeServices cpe(sunway::ArchConfig{});
+  runCpeProgram(program, {{"M", 128}, {"N", 64}, {"K", 64}}, ExecScalars{},
+                cpe);
+  EXPECT_EQ(cpe.counters().dmaMessages, 2);
+}
+
 TEST(Interpreter, PhaseResolutionAlternatesBuffers) {
   // Two DMA issues at x = 0 and x = 1 with phaseVar x must land in the
   // two phases of the double buffer; we check via distinct SPM offsets by

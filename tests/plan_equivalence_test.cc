@@ -1,0 +1,156 @@
+// The lowered execution plan (runtime/plan.h) must be observationally
+// identical to the tree-walking reference interpreter: bit-identical C,
+// identical counters, and identical simulated seconds, across shapes,
+// option sets, and fault-injected runs.  These tests run every case
+// through both engines via runGemmFunctional and compare exhaustively.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/gemm_runner.h"
+#include "kernel/reference.h"
+#include "runtime/plan.h"
+#include "sunway/fault.h"
+
+namespace sw::core {
+namespace {
+
+std::vector<double> randomMatrix(std::int64_t count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> data(static_cast<std::size_t>(count));
+  for (double& v : data) v = dist(rng);
+  return data;
+}
+
+void expectCountersEqual(const sunway::CpeCounters& plan,
+                         const sunway::CpeCounters& tree) {
+  EXPECT_EQ(plan.dmaMessages, tree.dmaMessages);
+  EXPECT_EQ(plan.dmaBytes, tree.dmaBytes);
+  EXPECT_EQ(plan.rmaBroadcastsSent, tree.rmaBroadcastsSent);
+  EXPECT_EQ(plan.rmaBytesSent, tree.rmaBytesSent);
+  EXPECT_EQ(plan.syncs, tree.syncs);
+  EXPECT_EQ(plan.microKernelCalls, tree.microKernelCalls);
+  EXPECT_EQ(plan.computeSeconds, tree.computeSeconds);
+  EXPECT_EQ(plan.dmaBusySeconds, tree.dmaBusySeconds);
+  EXPECT_EQ(plan.rmaBusySeconds, tree.rmaBusySeconds);
+  EXPECT_EQ(plan.waitStallSeconds, tree.waitStallSeconds);
+  EXPECT_EQ(plan.faultsInjected, tree.faultsInjected);
+  EXPECT_EQ(plan.dmaRetries, tree.dmaRetries);
+}
+
+struct PlanCase {
+  const char* label;
+  std::int64_t m, n, k, batch;
+  double alpha, beta;
+  bool batched = false;
+  bool useRma = true;
+  bool hideLatency = true;
+  bool useAsm = true;
+  FusionKind fusion = FusionKind::kNone;
+  const char* inject = nullptr;  // --inject spec, nullptr = no faults
+};
+
+class PlanEquivalence : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanEquivalence, MatchesTreeWalkBitExactly) {
+  const PlanCase& pc = GetParam();
+  CodegenOptions options;
+  options.batched = pc.batched;
+  options.useRma = pc.useRma;
+  options.hideLatency = pc.hideLatency;
+  options.useAsm = pc.useAsm;
+  options.fusion = pc.fusion;
+  SwGemmCompiler compiler;
+  CompiledKernel kernel = compiler.compile(options);
+  ASSERT_NE(kernel.plan, nullptr);
+
+  const std::int64_t countA = pc.batch * pc.m * pc.k;
+  const std::int64_t countB = pc.batch * pc.k * pc.n;
+  const std::int64_t countC = pc.batch * pc.m * pc.n;
+  std::vector<double> a = randomMatrix(countA, 101);
+  std::vector<double> b = randomMatrix(countB, 102);
+  std::vector<double> cInit = randomMatrix(countC, 103);
+  GemmProblem problem{pc.m, pc.n, pc.k, pc.batch, pc.alpha, pc.beta};
+
+  FunctionalRunConfig planConfig;
+  FunctionalRunConfig treeConfig;
+  treeConfig.engine = rt::ExecEngine::kTreeWalk;
+  if (pc.inject != nullptr) {
+    auto plan = std::make_shared<const sunway::FaultPlan>(
+        sunway::FaultPlan::parse(pc.inject));
+    planConfig.faultPlan = plan;
+    treeConfig.faultPlan = plan;
+  }
+
+  std::vector<double> cPlan = cInit;
+  rt::RunOutcome planOutcome = runGemmFunctional(
+      kernel, compiler.arch(), problem, a, b, cPlan, planConfig);
+  std::vector<double> cTree = cInit;
+  rt::RunOutcome treeOutcome = runGemmFunctional(
+      kernel, compiler.arch(), problem, a, b, cTree, treeConfig);
+
+  // Bit-identical result matrix (memcmp distinguishes -0.0 from 0.0 and
+  // NaN payloads, which a numeric comparison would not).
+  EXPECT_EQ(std::memcmp(cPlan.data(), cTree.data(),
+                        static_cast<std::size_t>(countC) * sizeof(double)),
+            0)
+      << "max |diff| = "
+      << kernel::maxAbsDiff(cPlan.data(), cTree.data(), countC);
+  EXPECT_EQ(planOutcome.seconds, treeOutcome.seconds);
+  expectCountersEqual(planOutcome.counters, treeOutcome.counters);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlanEquivalence,
+    ::testing::Values(
+        PlanCase{"square", 128, 128, 128, 1, 1.0, 1.0},
+        PlanCase{"nonsquare", 65, 129, 33, 1, -2.5, 0.5},
+        PlanCase{"batched", 64, 96, 64, 3, 1.25, 0.75, /*batched=*/true},
+        PlanCase{"fused_relu", 96, 64, 64, 1, 1.0, 1.0, false, true, true,
+                 true, FusionKind::kEpilogueRelu},
+        PlanCase{"fused_quant", 64, 64, 96, 1, 0.5, 2.0, false, true, true,
+                 true, FusionKind::kPrologueQuantize},
+        PlanCase{"no_rma", 128, 96, 64, 1, 1.0, 1.0, false, /*useRma=*/false,
+                 /*hideLatency=*/false},
+        PlanCase{"naive_compute", 100, 100, 100, 1, 1.0, 1.0, false, true,
+                 true, /*useAsm=*/false},
+        PlanCase{"faulted", 128, 64, 64, 1, 1.0, 1.0, false, true, true, true,
+                 FusionKind::kNone, "dma-drop:occ=1:count=2"},
+        PlanCase{"fault_delay_mix", 96, 96, 96, 1, 1.0, 0.0, false, true,
+                 true, true, FusionKind::kNone,
+                 "dma-delay:occ=0:count=3:seconds=2e-6;stall:cpe=5:occ=1:"
+                 "seconds=1e-6"}),
+    [](const ::testing::TestParamInfo<PlanCase>& info) {
+      return info.param.label;
+    });
+
+TEST(PlanEquivalence, EstimatorTimingMatchesTreeWalk) {
+  SwGemmCompiler compiler;
+  CompiledKernel kernel = compiler.compile(CodegenOptions{});
+  ASSERT_NE(kernel.plan, nullptr);
+  auto params = rt::bindParams(kernel.program, 512, 512, 512);
+  const double flops = rt::gemmFlops(512, 512, 512);
+  rt::RunOutcome plan = rt::estimateTiming(compiler.arch(), kernel.program,
+                                           params, flops, kernel.plan.get());
+  rt::RunOutcome tree =
+      rt::estimateTiming(compiler.arch(), kernel.program, params, flops);
+  EXPECT_EQ(plan.seconds, tree.seconds);
+  expectCountersEqual(plan.counters, tree.counters);
+}
+
+TEST(PlanEquivalence, LoweringIsDeterministic) {
+  SwGemmCompiler compiler;
+  CompiledKernel kernel = compiler.compile(CodegenOptions{});
+  auto relowered = rt::lowerToPlan(kernel.program);
+  ASSERT_NE(kernel.plan, nullptr);
+  EXPECT_EQ(kernel.plan->code.size(), relowered->code.size());
+  EXPECT_EQ(kernel.plan->frameSlots, relowered->frameSlots);
+  EXPECT_EQ(kernel.plan->exprs.size(), relowered->exprs.size());
+}
+
+}  // namespace
+}  // namespace sw::core

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON result against a committed baseline.
+
+Usage:
+  check_bench_regression.py --baseline bench/baselines/BENCH_foo.json \
+      --current out.json [--threshold 0.30] [--key cpu_time]
+
+A benchmark regresses when its time exceeds baseline * (1 + threshold).
+Benchmarks present in only one file are reported but never fatal (new
+benchmarks land before their baseline is refreshed).  Absolute times move
+with the host, so the guard also checks a host-invariant ratio: every
+"<prefix>_plan" benchmark must stay faster than its "<prefix>_tree_walk"
+sibling by at least --min-speedup (default 3.0 for timing benchmarks,
+disabled when no sibling pair exists).
+
+Exit code 0 = clean, 1 = regression, 2 = bad invocation/input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read benchmark JSON '{path}': {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    benchmarks = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        benchmarks[bench["name"]] = bench
+    if not benchmarks:
+        print(f"error: no benchmarks found in '{path}'", file=sys.stderr)
+        sys.exit(2)
+    return benchmarks
+
+
+def sibling_pairs(benchmarks):
+    """(prefix, plan_name, tree_name) for every *_plan / *_tree_walk pair."""
+    pairs = []
+    for name in benchmarks:
+        if name.endswith("_plan"):
+            prefix = name[: -len("_plan")]
+            tree = prefix + "_tree_walk"
+            if tree in benchmarks:
+                pairs.append((prefix, name, tree))
+    return pairs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional slowdown vs baseline")
+    parser.add_argument("--key", default="cpu_time",
+                        help="which time field to compare")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required plan-vs-tree-walk ratio for "
+                             "'timing' benchmark pairs")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    failures = []
+    for name, bench in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"note: '{name}' has no baseline entry (new benchmark)")
+            continue
+        if base.get("time_unit") != bench.get("time_unit"):
+            failures.append(f"'{name}': time_unit changed "
+                            f"({base.get('time_unit')} -> "
+                            f"{bench.get('time_unit')})")
+            continue
+        base_t = float(base[args.key])
+        cur_t = float(bench[args.key])
+        limit = base_t * (1.0 + args.threshold)
+        ratio = cur_t / base_t if base_t > 0 else float("inf")
+        status = "ok" if cur_t <= limit else "REGRESSED"
+        print(f"{status:>9}  {name}: {cur_t:.1f} vs baseline {base_t:.1f} "
+              f"{bench.get('time_unit')} ({ratio:.2f}x)")
+        if cur_t > limit:
+            failures.append(
+                f"'{name}' regressed: {cur_t:.1f} > {limit:.1f} "
+                f"{bench.get('time_unit')} "
+                f"(baseline {base_t:.1f}, threshold {args.threshold:.0%})")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"note: baseline benchmark '{name}' missing from current run")
+
+    for prefix, plan_name, tree_name in sibling_pairs(current):
+        plan_t = float(current[plan_name][args.key])
+        tree_t = float(current[tree_name][args.key])
+        if plan_t <= 0:
+            continue
+        speedup = tree_t / plan_t
+        # Only the pure-interpreter (timing) pair carries the hard floor;
+        # functional runs are dominated by the simulated machine and
+        # thread-scheduling noise, so their ratio is informational.
+        if "timing" not in prefix:
+            print(f"     info  {prefix}: plan speedup {speedup:.2f}x")
+            continue
+        required = args.min_speedup
+        status = "ok" if speedup >= required else "REGRESSED"
+        print(f"{status:>9}  {prefix}: plan speedup {speedup:.2f}x "
+              f"(required >= {required:.2f}x)")
+        if speedup < required:
+            failures.append(
+                f"'{prefix}': plan is only {speedup:.2f}x faster than the "
+                f"tree-walk (required {required:.2f}x)")
+
+    if failures:
+        print("\nbenchmark regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
