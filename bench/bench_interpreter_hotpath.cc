@@ -100,6 +100,54 @@ void benchFunctional(benchmark::State& state, sw::rt::ExecEngine engine) {
   exportHotPathCounters(state, outcome.counters);
 }
 
+/// §8.1 pad-tax comparison: one edge-tile kernel, run functionally on the
+/// caller's unpadded arrays (edge) vs through zero-padded shadow arrays
+/// (padded reference).  Exported counters make the tax visible: the edge
+/// path must show strictly fewer simulated micro-kernel flops and zero
+/// host pack/unpack bytes.
+struct EdgeSetup {
+  sw::core::SwGemmCompiler compiler;
+  CompiledKernel kernel;
+
+  static CompiledKernel makeKernel(const sw::core::SwGemmCompiler& c) {
+    CodegenOptions options;
+    options.edgeTiles = true;
+    return c.compile(options);
+  }
+  EdgeSetup() : kernel(makeKernel(compiler)) {}
+};
+
+EdgeSetup& edgeSetup() {
+  static EdgeSetup s;
+  return s;
+}
+
+sw::rt::RunOutcome runPadMode(sw::core::PadMode mode, std::int64_t m,
+                              std::int64_t n, std::int64_t k) {
+  std::vector<double> a(static_cast<std::size_t>(m * k), 0.5);
+  std::vector<double> b(static_cast<std::size_t>(k * n), 0.25);
+  std::vector<double> c(static_cast<std::size_t>(m * n), 0.0);
+  GemmProblem problem{m, n, k, 1, 1.0, 0.0};
+  FunctionalRunConfig config;
+  config.padMode = mode;
+  return runGemmFunctional(edgeSetup().kernel, edgeSetup().compiler.arch(),
+                           problem, a, b, c, config);
+}
+
+void benchPadMode(benchmark::State& state, sw::core::PadMode mode) {
+  const std::int64_t m = 100, n = 100, k = 100;
+  sw::rt::RunOutcome outcome;
+  for (auto _ : state) {
+    outcome = runPadMode(mode, m, n, k);
+    benchmark::DoNotOptimize(&outcome);
+  }
+  state.counters["ukernel_flops"] =
+      benchmark::Counter(outcome.counters.flops);
+  state.counters["host_copy_bytes"] =
+      benchmark::Counter(static_cast<double>(outcome.hostCopyBytes));
+  state.counters["sim_gflops"] = benchmark::Counter(outcome.gflops);
+}
+
 void benchLowering(benchmark::State& state) {
   for (auto _ : state) {
     auto plan = sw::rt::lowerToPlan(setup().kernel.program);
@@ -137,6 +185,37 @@ int main(int argc, char** argv) {
                "speedup %.2fx\n\n",
                tree * 1e3, plan * 1e3, tree / plan);
 
+  {
+    // §8.1 pad tax at 100^3: the padded path rounds every dimension up to
+    // the mesh grid and copies through shadow arrays; edge tiles do
+    // neither.
+    const sw::rt::RunOutcome edge =
+        runPadMode(sw::core::PadMode::kEdge, 100, 100, 100);
+    const sw::rt::RunOutcome padded =
+        runPadMode(sw::core::PadMode::kPadded, 100, 100, 100);
+    std::fprintf(stderr,
+                 "pad tax, functional 100x100x100: edge %.3g uKernel flops "
+                 "+ %lld host copy bytes vs padded %.3g flops + %lld bytes "
+                 "(%.0fx flop inflation retired)\n",
+                 edge.counters.flops,
+                 static_cast<long long>(edge.hostCopyBytes),
+                 padded.counters.flops,
+                 static_cast<long long>(padded.hostCopyBytes),
+                 padded.counters.flops / edge.counters.flops);
+    // Paper-scale irregular depth on the timing model: K=1000 rounds up to
+    // 1024, so even the symmetric per-CPE model pays the padded k-loop.
+    GemmProblem irregular{12288, 12288, 1000, 1};
+    const sw::rt::RunOutcome edgeEst = sw::core::estimateGemm(
+        edgeSetup().kernel, edgeSetup().compiler.arch(), irregular);
+    const sw::rt::RunOutcome paddedEst = sw::core::estimateGemm(
+        setup().kernel, setup().compiler.arch(), irregular);
+    std::fprintf(stderr,
+                 "pad tax, estimated 12288x12288x1000: edge %.2f GFLOPS vs "
+                 "padded %.2f GFLOPS (per-CPE flops %.3g vs %.3g)\n\n",
+                 edgeEst.gflops, paddedEst.gflops, edgeEst.counters.flops,
+                 paddedEst.counters.flops);
+  }
+
   benchmark::RegisterBenchmark("HotPath/timing_tree_walk", benchTimingOnly,
                                false);
   benchmark::RegisterBenchmark("HotPath/timing_plan", benchTimingOnly, true);
@@ -146,6 +225,10 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("HotPath/functional_plan", benchFunctional,
                                sw::rt::ExecEngine::kPlan);
   benchmark::RegisterBenchmark("HotPath/lower_to_plan", benchLowering);
+  benchmark::RegisterBenchmark("HotPath/pad_tax_edge", benchPadMode,
+                               sw::core::PadMode::kEdge);
+  benchmark::RegisterBenchmark("HotPath/pad_tax_padded", benchPadMode,
+                               sw::core::PadMode::kPadded);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,5 +1,7 @@
 #include "core/gemm_runner.h"
 
+#include <cstring>
+
 #include "support/error.h"
 #include "support/format.h"
 #include "support/logging.h"
@@ -11,24 +13,45 @@ namespace sw::core {
 namespace {
 
 /// Copy a batch*rows*cols row-major matrix into a zero-padded
-/// batch*paddedRows*paddedCols host array.
-void packPadded(sunway::HostArray& dst, std::span<const double> src,
-                std::int64_t batch, std::int64_t rows, std::int64_t cols) {
+/// batch*paddedRows*paddedCols host array, one contiguous row memcpy at a
+/// time.  Returns the number of bytes copied.
+std::int64_t packPadded(sunway::HostArray& dst, std::span<const double> src,
+                        std::int64_t batch, std::int64_t rows,
+                        std::int64_t cols) {
   SW_CHECK(static_cast<std::int64_t>(src.size()) == batch * rows * cols,
            "input span size does not match the declared shape");
+  const std::int64_t rowBytes = cols * static_cast<std::int64_t>(sizeof(double));
   for (std::int64_t b = 0; b < batch; ++b)
     for (std::int64_t r = 0; r < rows; ++r)
-      for (std::int64_t cc = 0; cc < cols; ++cc)
-        dst.at(b, r, cc) = src[static_cast<std::size_t>((b * rows + r) * cols + cc)];
+      std::memcpy(&dst.at(b, r, 0),
+                  src.data() + static_cast<std::size_t>((b * rows + r) * cols),
+                  static_cast<std::size_t>(rowBytes));
+  return batch * rows * rowBytes;
 }
 
-void unpackPadded(std::span<double> dst, const sunway::HostArray& src,
-                  std::int64_t batch, std::int64_t rows, std::int64_t cols) {
+std::int64_t unpackPadded(std::span<double> dst, const sunway::HostArray& src,
+                          std::int64_t batch, std::int64_t rows,
+                          std::int64_t cols) {
+  const std::int64_t rowBytes = cols * static_cast<std::int64_t>(sizeof(double));
   for (std::int64_t b = 0; b < batch; ++b)
     for (std::int64_t r = 0; r < rows; ++r)
-      for (std::int64_t cc = 0; cc < cols; ++cc)
-        dst[static_cast<std::size_t>((b * rows + r) * cols + cc)] =
-            src.at(b, r, cc);
+      std::memcpy(dst.data() + static_cast<std::size_t>((b * rows + r) * cols),
+                  src.data() + src.offsetOf(b, r, 0),
+                  static_cast<std::size_t>(rowBytes));
+  return batch * rows * rowBytes;
+}
+
+PadMode resolvePadMode(const CompiledKernel& kernel,
+                       const FunctionalRunConfig& runConfig) {
+  PadMode mode = runConfig.padMode;
+  if (mode == PadMode::kAuto)
+    mode = kernel.options.edgeTiles ? PadMode::kEdge : PadMode::kPadded;
+  if (mode == PadMode::kEdge && !kernel.options.edgeTiles)
+    throw InputError(
+        "pad mode 'edge' requires a kernel compiled with edge tiles "
+        "(CodegenOptions::edgeTiles / --pad-mode=edge at compile time); "
+        "this kernel assumes padded inputs");
+  return mode;
 }
 
 }  // namespace
@@ -43,13 +66,14 @@ rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
   SW_CHECK(problem.batch >= 1, "batch must be >= 1");
   SW_CHECK(kernel.options.batched || problem.batch == 1,
            "batch > 1 requires a kernel compiled with --batch");
+  const PadMode mode = resolvePadMode(kernel, runConfig);
   trace::Span span("run.functional",
                    {trace::arg("m", problem.m), trace::arg("n", problem.n),
                     trace::arg("k", problem.k),
-                    trace::arg("batch", problem.batch)},
+                    trace::arg("batch", problem.batch),
+                    trace::arg("pad_mode",
+                               mode == PadMode::kEdge ? "edge" : "padded")},
                    "run");
-  const PaddedShape padded =
-      padShape(problem.m, problem.n, problem.k, kernel.options, arch);
 
   sunway::MeshSimulator mesh(arch, /*functional=*/true);
   mesh.setFaultPlan(runConfig.faultPlan);
@@ -58,23 +82,64 @@ rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
   // B: N x K), matching the generated kernel's address computation.
   const bool tA = kernel.options.transposeA;
   const bool tB = kernel.options.transposeB;
-  sunway::HostArray arrA = sunway::HostArray::allocate(
-      "A", problem.batch, tA ? padded.k : padded.m, tA ? padded.m : padded.k);
-  sunway::HostArray arrB = sunway::HostArray::allocate(
-      "B", problem.batch, tB ? padded.n : padded.k, tB ? padded.k : padded.n);
-  sunway::HostArray arrC = sunway::HostArray::allocate(
-      "C", problem.batch, padded.m, padded.n);
-  packPadded(arrA, a, problem.batch, tA ? problem.k : problem.m,
-             tA ? problem.m : problem.k);
-  packPadded(arrB, b, problem.batch, tB ? problem.n : problem.k,
-             tB ? problem.k : problem.n);
-  packPadded(arrC, c, problem.batch, problem.m, problem.n);
-  mesh.memory().add(std::move(arrA));
-  mesh.memory().add(std::move(arrB));
-  mesh.memory().add(std::move(arrC));
+  const std::int64_t aRows = tA ? problem.k : problem.m;
+  const std::int64_t aCols = tA ? problem.m : problem.k;
+  const std::int64_t bRows = tB ? problem.n : problem.k;
+  const std::int64_t bCols = tB ? problem.k : problem.n;
 
-  auto params = rt::bindParams(kernel.program, padded.m, padded.n, padded.k,
-                               problem.batch);
+  std::int64_t hostCopyBytes = 0;
+  std::map<std::string, std::int64_t> params;
+  if (mode == PadMode::kEdge) {
+    // Bind the caller's unpadded arrays directly and hand the kernel the
+    // true extents; the edge-tile clamps keep every transfer and compute
+    // inside these bounds.  A and B receive only DMA gets, so the
+    // const_cast never results in a write.
+    SW_CHECK(static_cast<std::int64_t>(a.size()) ==
+                 problem.batch * aRows * aCols,
+             "input span size does not match the declared shape");
+    SW_CHECK(static_cast<std::int64_t>(b.size()) ==
+                 problem.batch * bRows * bCols,
+             "input span size does not match the declared shape");
+    SW_CHECK(static_cast<std::int64_t>(c.size()) ==
+                 problem.batch * problem.m * problem.n,
+             "input span size does not match the declared shape");
+    mesh.memory().add(sunway::HostArray::borrow(
+        "A", problem.batch, aRows, aCols, const_cast<double*>(a.data())));
+    mesh.memory().add(sunway::HostArray::borrow(
+        "B", problem.batch, bRows, bCols, const_cast<double*>(b.data())));
+    mesh.memory().add(sunway::HostArray::borrow("C", problem.batch, problem.m,
+                                                problem.n, c.data()));
+    params = rt::bindParams(kernel.program, problem.m, problem.n, problem.k,
+                            problem.batch);
+  } else {
+    const PaddedShape padded =
+        padShape(problem.m, problem.n, problem.k, kernel.options, arch);
+    sunway::HostArray arrA = sunway::HostArray::allocate(
+        "A", problem.batch, tA ? padded.k : padded.m, tA ? padded.m : padded.k);
+    sunway::HostArray arrB = sunway::HostArray::allocate(
+        "B", problem.batch, tB ? padded.n : padded.k, tB ? padded.k : padded.n);
+    sunway::HostArray arrC = sunway::HostArray::allocate(
+        "C", problem.batch, padded.m, padded.n);
+    hostCopyBytes += packPadded(arrA, a, problem.batch, aRows, aCols);
+    hostCopyBytes += packPadded(arrB, b, problem.batch, bRows, bCols);
+    if (problem.beta != 0.0) {
+      // beta == 0 means C is write-only (BLAS semantics): the kernel
+      // zero-fills the C tile instead of scaling it, so the caller's
+      // values — possibly NaN — must not be packed, let alone read.
+      hostCopyBytes += packPadded(arrC, c, problem.batch, problem.m,
+                                  problem.n);
+    } else {
+      SW_CHECK(static_cast<std::int64_t>(c.size()) ==
+                   problem.batch * problem.m * problem.n,
+               "input span size does not match the declared shape");
+    }
+    mesh.memory().add(std::move(arrA));
+    mesh.memory().add(std::move(arrB));
+    mesh.memory().add(std::move(arrC));
+    params = rt::bindParams(kernel.program, padded.m, padded.n, padded.k,
+                            problem.batch);
+  }
+
   rt::ExecScalars scalars{problem.alpha, problem.beta};
   const rt::ExecutionPlan* plan =
       runConfig.engine == rt::ExecEngine::kPlan ? kernel.plan.get() : nullptr;
@@ -82,8 +147,10 @@ rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
       mesh, kernel.program, params, scalars,
       rt::gemmFlops(problem.m, problem.n, problem.k, problem.batch), plan);
 
-  unpackPadded(c, mesh.memory().get("C"), problem.batch, problem.m,
-               problem.n);
+  if (mode != PadMode::kEdge)
+    hostCopyBytes += unpackPadded(c, mesh.memory().get("C"), problem.batch,
+                                  problem.m, problem.n);
+  outcome.hostCopyBytes = hostCopyBytes;
   return outcome;
 }
 
@@ -95,10 +162,18 @@ rt::RunOutcome estimateGemm(const CompiledKernel& kernel,
                     trace::arg("k", problem.k),
                     trace::arg("batch", problem.batch)},
                    "run");
-  const PaddedShape padded =
-      padShape(problem.m, problem.n, problem.k, kernel.options, arch);
-  auto params = rt::bindParams(kernel.program, padded.m, padded.n, padded.k,
-                               problem.batch);
+  // Edge-tile kernels bind the true extents (their transfers and compute
+  // clamp to them); padded kernels require the padded shape.
+  std::map<std::string, std::int64_t> params;
+  if (kernel.options.edgeTiles) {
+    params = rt::bindParams(kernel.program, problem.m, problem.n, problem.k,
+                            problem.batch);
+  } else {
+    const PaddedShape padded =
+        padShape(problem.m, problem.n, problem.k, kernel.options, arch);
+    params = rt::bindParams(kernel.program, padded.m, padded.n, padded.k,
+                            problem.batch);
+  }
   return rt::estimateTiming(
       arch, kernel.program, params,
       rt::gemmFlops(problem.m, problem.n, problem.k, problem.batch),

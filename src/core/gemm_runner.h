@@ -1,6 +1,8 @@
-// Convenience execution wrappers around a CompiledKernel: padding per
-// §8.1's zero-padding convention, functional runs on the threaded mesh
-// simulator, and scalable timing estimates.
+// Convenience execution wrappers around a CompiledKernel: functional runs
+// on the threaded mesh simulator and scalable timing estimates.  Two host
+// paths exist: the padded reference (zero-padded shadow arrays per §8.1's
+// convention) and the edge-tile path, which binds the caller's unpadded
+// arrays directly when the kernel was compiled with edge tiles.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +23,20 @@ struct GemmProblem {
   double beta = 1.0;
 };
 
+/// How the host arrays meet the kernel's shape preconditions
+/// (--pad-mode).
+enum class PadMode {
+  /// Edge-tile kernels run on the caller's arrays directly; others pad.
+  kAuto,
+  /// Always allocate zero-padded shadow arrays (the §8.1 reference path).
+  /// Works for any kernel, including edge-tile ones (whose clamps never
+  /// bind at padded sizes).
+  kPadded,
+  /// Bind the caller's unpadded arrays directly (no pack/unpack copies);
+  /// requires a kernel compiled with CodegenOptions::edgeTiles.
+  kEdge,
+};
+
 /// Resilience knobs for functional mesh runs.
 struct FunctionalRunConfig {
   /// Installed on the mesh before running; nullptr disables injection.
@@ -32,12 +48,17 @@ struct FunctionalRunConfig {
   /// tree-walk when the kernel carries no plan), or the tree-walking
   /// reference interpreter.
   rt::ExecEngine engine = rt::ExecEngine::kPlan;
+  /// Host-array strategy; see PadMode.
+  PadMode padMode = PadMode::kAuto;
 };
 
 /// Run the compiled kernel functionally on the 64-thread mesh simulator.
 /// `a` is batch*m*k row-major, `b` batch*k*n, `c` batch*m*n (read-write:
-/// C = alpha*A*B + beta*C lands back in `c`).  Inputs are zero-padded to
-/// the kernel's shape preconditions internally.  Returns timing/counters.
+/// C = alpha*A*B + beta*C lands back in `c`; transposed operands use their
+/// transposed layouts).  Depending on the resolved PadMode the inputs are
+/// either zero-padded into shadow arrays or bound in place (edge tiles).
+/// BLAS semantics hold either way: beta == 0 never reads C.  Returns
+/// timing/counters (including hostCopyBytes moved by pack/unpack).
 rt::RunOutcome runGemmFunctional(const CompiledKernel& kernel,
                                  const sunway::ArchConfig& arch,
                                  const GemmProblem& problem,

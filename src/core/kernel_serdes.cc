@@ -212,6 +212,7 @@ void writeCopyStmt(Writer& w, const sched::CopyStmt& s) {
   }
   writeBufferRef(w, s.rmaSource);
   w.str(s.replySlot);
+  w.boolean(s.clampToBounds);
 }
 
 sched::CopyStmt readCopyStmt(Reader& r) {
@@ -238,7 +239,25 @@ sched::CopyStmt readCopyStmt(Reader& r) {
   }
   s.rmaSource = readBufferRef(r);
   s.replySlot = r.str();
+  s.clampToBounds = r.boolean();
   return s;
+}
+
+void writeComputeClamp(Writer& w,
+                       const std::optional<sched::ComputeClamp>& clamp) {
+  w.boolean(clamp.has_value());
+  if (clamp.has_value()) {
+    writeAffine(w, clamp->origin);
+    w.str(clamp->boundParam);
+  }
+}
+
+std::optional<sched::ComputeClamp> readComputeClamp(Reader& r) {
+  if (!r.boolean()) return std::nullopt;
+  sched::ComputeClamp clamp;
+  clamp.origin = readAffine(r);
+  clamp.boundParam = r.str();
+  return clamp;
 }
 
 void writeComputeInfo(Writer& w, const sched::ComputeMarkInfo& c) {
@@ -249,6 +268,9 @@ void writeComputeInfo(Writer& w, const sched::ComputeMarkInfo& c) {
   w.num(c.m);
   w.num(c.n);
   w.num(c.k);
+  writeComputeClamp(w, c.clampM);
+  writeComputeClamp(w, c.clampN);
+  writeComputeClamp(w, c.clampK);
 }
 
 sched::ComputeMarkInfo readComputeInfo(Reader& r) {
@@ -262,6 +284,9 @@ sched::ComputeMarkInfo readComputeInfo(Reader& r) {
   c.m = r.num();
   c.n = r.num();
   c.k = r.num();
+  c.clampM = readComputeClamp(r);
+  c.clampN = readComputeClamp(r);
+  c.clampK = readComputeClamp(r);
   return c;
 }
 
@@ -399,6 +424,7 @@ void writeOptions(Writer& w, const CodegenOptions& o) {
   w.num(o.tileN);
   w.num(o.tileK);
   w.num(o.stripFactor);
+  w.boolean(o.edgeTiles);
 }
 
 CodegenOptions readOptions(Reader& r) {
@@ -417,6 +443,7 @@ CodegenOptions readOptions(Reader& r) {
   o.tileN = r.num();
   o.tileK = r.num();
   o.stripFactor = r.num();
+  o.edgeTiles = r.boolean();
   return o;
 }
 

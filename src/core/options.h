@@ -46,6 +46,13 @@ struct CodegenOptions {
 
   /// Strip-mining factor of the reduced dimension = mesh width (§3.2).
   std::int64_t stripFactor = 8;
+
+  /// Edge-tile codegen (--pad-mode=edge): emit runtime clamps on DMA
+  /// extents and micro-kernel shapes so arbitrary (non-tile-multiple)
+  /// M/N/K run directly on unpadded host arrays, retiring the §8.1
+  /// zero-padding convention.  Padded shapes bind none of the clamps, so
+  /// an edge-tile kernel on padded inputs behaves exactly like a plain one.
+  bool edgeTiles = false;
 };
 
 }  // namespace sw::core

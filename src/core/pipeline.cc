@@ -75,6 +75,7 @@ CopyStmt makeGetC(const Ctx& ctx) {
   s.colsParam = "N";
   s.tileRows = ctx.opts.tileM;
   s.tileCols = ctx.opts.tileN;
+  s.clampToBounds = ctx.opts.edgeTiles;
   s.replySlot = "reply_C_get";
   return s;
 }
@@ -121,6 +122,7 @@ CopyStmt makeGetA(const Ctx& ctx, const AffineExpr& koExpr,
     s.tileRows = ctx.opts.tileM;
     s.tileCols = ctx.opts.tileK;
   }
+  s.clampToBounds = ctx.opts.edgeTiles;
   s.replySlot = "reply_A";
   return s;
 }
@@ -154,6 +156,7 @@ CopyStmt makeGetB(const Ctx& ctx, const AffineExpr& koExpr,
     s.tileRows = ctx.opts.tileK;
     s.tileCols = ctx.opts.tileN;
   }
+  s.clampToBounds = ctx.opts.edgeTiles;
   s.replySlot = "reply_B";
   return s;
 }
@@ -537,6 +540,19 @@ PipelineResult runGemmPipeline(const CodegenOptions& options,
                              : SpmBufferRef{"A_dma", std::nullopt, 0};
   computeInfo.b = rmaBuffers ? SpmBufferRef{"B_rma", kiPhase, 0}
                              : SpmBufferRef{"B_dma", std::nullopt, 0};
+  if (options.edgeTiles) {
+    // Edge tiles: clamp the kernel shape to the valid extent of this
+    // CPE's tile.  The k origin names the slice the operand buffers hold
+    // at this compute point: with RMA, round ki carries the slice staged
+    // by the CPE whose Cid/Rid equals ki (kStart = ko*kStep + ki*tileK);
+    // without RMA every CPE fetched kt*tileK itself.
+    computeInfo.clampM = sched::ComputeClamp{ctx.cRow(), "M"};
+    computeInfo.clampN = sched::ComputeClamp{ctx.cCol(), "N"};
+    const AffineExpr kOrigin =
+        options.useRma ? d("ko") * ctx.kStep + d("ki") * options.tileK
+                       : d("kt") * options.tileK;
+    computeInfo.clampK = sched::ComputeClamp{kOrigin, "K"};
+  }
 
   auto mark = std::make_unique<sched::MarkNode>();
   mark->label = computeInfo.kind == ComputeMarkInfo::Kind::kAsm

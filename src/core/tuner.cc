@@ -66,7 +66,13 @@ TuneResult tuneTileSizes(const CodegenOptions& base,
       result.candidates.push_back(std::move(candidate));
     }
   }
-  SW_CHECK(bestGflops > 0.0, "no feasible tile shape found");
+  result.anyFeasible = bestGflops > 0.0;
+  if (!result.anyFeasible)
+    throw InputError(strCat(
+        "tuner: none of the ", result.candidates.size(),
+        " candidate tile shapes fits the SPM budget of ", arch.spmBytes,
+        " bytes (GEMM ", shape.m, "x", shape.n, "x", shape.k,
+        "); raise ArchConfig::spmBytes or shrink the candidate grid"));
 
   result.searchSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -16,6 +16,7 @@
 
 #include "core/compiler.h"
 #include "core/gemm_runner.h"
+#include "support/error.h"
 
 namespace sw::core {
 
@@ -32,12 +33,20 @@ struct TuneCandidate {
 struct TuneResult {
   /// Candidates in evaluation order.
   std::vector<TuneCandidate> candidates;
-  /// Index of the best feasible candidate.
+  /// Index of the best feasible candidate; meaningful only when
+  /// anyFeasible is true.
   std::size_t bestIndex = 0;
+  /// Whether any candidate both compiled and fit the SPM budget.
+  bool anyFeasible = false;
   /// Wall-clock spent searching (the cost the analytical model avoids).
   double searchSeconds = 0.0;
 
+  /// The best feasible candidate; throws InputError when the search found
+  /// none (instead of indexing out of bounds).
   [[nodiscard]] const TuneCandidate& best() const {
+    if (!anyFeasible || bestIndex >= candidates.size())
+      throw InputError(
+          "TuneResult::best(): the search found no feasible tile shape");
     return candidates[bestIndex];
   }
 };

@@ -116,7 +116,23 @@ void dgemmNaiveKernel(double* c, const double* a, const double* b,
     }
 }
 
+void dgemmEdgeKernel(double* c, const double* a, const double* b,
+                     std::int64_t m, std::int64_t n, std::int64_t k,
+                     std::int64_t lda, std::int64_t ldb, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += a[i * lda + p] * b[p * ldb + j];
+      c[i * ldc + j] += acc;
+    }
+}
+
 void tileScale(double* tile, std::int64_t count, double factor) {
+  if (factor == 0.0) {
+    for (std::int64_t i = 0; i < count; ++i) tile[i] = 0.0;
+    return;
+  }
   for (std::int64_t i = 0; i < count; ++i) tile[i] *= factor;
 }
 

@@ -32,8 +32,20 @@ void dgemmMicroKernel(double* c, const double* a, const double* b,
 void dgemmNaiveKernel(double* c, const double* a, const double* b,
                       std::int64_t m, std::int64_t n, std::int64_t k);
 
+/// Edge-tile path: C[m x n] += A[m x k] * B[k x n] where each SPM tile
+/// keeps its FULL-tile row stride (lda/ldb/ldc) while only the leading
+/// m/n/k sub-block holds valid data.  Accumulation order per C element is
+/// the same k-ascending single-add contract as the kernels above, so a
+/// partial tile computed here is bit-identical to the corresponding
+/// sub-block of a zero-padded full-tile run.
+void dgemmEdgeKernel(double* c, const double* a, const double* b,
+                     std::int64_t m, std::int64_t n, std::int64_t k,
+                     std::int64_t lda, std::int64_t ldb, std::int64_t ldc);
+
 /// Element-wise SPM-tile operations used by the pipeline and the fusion
-/// patterns (§7.3).
+/// patterns (§7.3).  A factor of exactly 0.0 zero-fills instead of
+/// multiplying: BLAS semantics say beta == 0 must not read C, so NaN or
+/// garbage in the destination tile must not propagate through 0 * x.
 void tileScale(double* tile, std::int64_t count, double factor);
 
 /// The quantization prologue of §8.4: x -> round(x * kQuantScale) /

@@ -32,6 +32,10 @@ struct RunOutcome {
   /// Derived gauges (overlap %, stall %, SPM high-water vs. budget,
   /// per-buffer bytes); filled by runOnMesh / estimateTiming.
   metrics::DerivedRunMetrics metrics;
+  /// Bytes runGemmFunctional copied between the caller's arrays and padded
+  /// shadow arrays (pack + unpack).  Zero on the edge-tile path, which
+  /// binds the caller's buffers directly.
+  std::int64_t hostCopyBytes = 0;
 };
 
 /// Compute the derived gauges from one run's aggregate counters.

@@ -1,5 +1,7 @@
 #include "runtime/interpreter.h"
 
+#include <algorithm>
+
 #include "kernel/microkernel.h"
 #include "support/error.h"
 #include "support/format.h"
@@ -116,7 +118,11 @@ class Interpreter {
                               request.array, "': ", what));
     };
     if (request.array.empty()) bad("empty array name");
-    if (request.tileRows <= 0 || request.tileCols <= 0)
+    // Clamped edge-tile requests may legally degenerate to an empty tile
+    // (they still signal the reply slot); anything else must be positive.
+    if (request.tileRows < 0 || request.tileCols < 0 ||
+        (!stmt.clampToBounds &&
+         (request.tileRows == 0 || request.tileCols == 0)))
       bad(strCat("non-positive tile shape ", request.tileRows, "x",
                  request.tileCols));
     if (request.spmOffsetBytes < 0)
@@ -131,6 +137,13 @@ class Interpreter {
       bad("unknown array (not registered in host memory)");
   }
 
+  /// Value of a structure parameter (or any bound schedule variable).
+  std::int64_t envValue(const std::string& name) const {
+    auto it = env_.find(name);
+    SW_CHECK(it != env_.end(), strCat("parameter '", name, "' unbound"));
+    return it->second;
+  }
+
   void exec(const DmaOp& op) {
     const CopyStmt& stmt = op.stmt;
     sunway::DmaRequest request;
@@ -142,6 +155,22 @@ class Interpreter {
     request.colStart = stmt.colStart.evaluate(env_);
     request.tileRows = stmt.tileRows;
     request.tileCols = stmt.tileCols;
+    if (stmt.clampToBounds) {
+      // Edge tiles: transfer min(tile, bound - offset) per dimension, at
+      // the full-tile SPM row stride.  A tile entirely past the bound
+      // becomes an empty transfer that still signals its reply slot.
+      request.spmRowStrideElems = stmt.tileCols;
+      request.tileRows = std::min(
+          request.tileRows, envValue(stmt.rowsParam) - request.rowStart);
+      request.tileCols = std::min(
+          request.tileCols, envValue(stmt.colsParam) - request.colStart);
+      if (request.tileRows <= 0 || request.tileCols <= 0) {
+        request.tileRows = 0;
+        request.tileCols = 0;
+        request.rowStart = 0;
+        request.colStart = 0;
+      }
+    }
     request.spmOffsetBytes = resolveBuffer(stmt.buffer);
     request.slot = stmt.replySlot;
     validateDma(request, stmt);
@@ -216,9 +245,21 @@ class Interpreter {
 
   void exec(const ComputeOp& op) {
     const ComputeMarkInfo& info = op.info;
-    const double flops = 2.0 * static_cast<double>(info.m) *
-                         static_cast<double>(info.n) *
-                         static_cast<double>(info.k);
+    // Edge tiles: clamp each dimension to the valid extent; a fully
+    // out-of-range tile skips the kernel (and charges zero flops).
+    std::int64_t m = info.m, n = info.n, k = info.k;
+    if (info.clampM)
+      m = std::min(m, envValue(info.clampM->boundParam) -
+                          info.clampM->origin.evaluate(env_));
+    if (info.clampN)
+      n = std::min(n, envValue(info.clampN->boundParam) -
+                          info.clampN->origin.evaluate(env_));
+    if (info.clampK)
+      k = std::min(k, envValue(info.clampK->boundParam) -
+                          info.clampK->origin.evaluate(env_));
+    if (m <= 0 || n <= 0 || k <= 0) return;
+    const double flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) * static_cast<double>(k);
     services_.computeTime(flops, info.kind == ComputeMarkInfo::Kind::kAsm
                                      ? sunway::ComputeRate::kAsmKernel
                                      : sunway::ComputeRate::kNaive);
@@ -226,6 +267,13 @@ class Interpreter {
     double* c = services_.spmPtr(resolveBuffer(info.c));
     double* a = services_.spmPtr(resolveBuffer(info.a));
     double* b = services_.spmPtr(resolveBuffer(info.b));
+    if (m != info.m || n != info.n || k != info.k) {
+      // Partial tile at full-tile SPM strides: strided edge kernel, same
+      // per-element accumulation order as the full-shape kernels.
+      kernel::dgemmEdgeKernel(c, a, b, m, n, k, /*lda=*/info.k,
+                              /*ldb=*/info.n, /*ldc=*/info.n);
+      return;
+    }
     if (info.kind == ComputeMarkInfo::Kind::kAsm)
       kernel::dgemmMicroKernel(c, a, b, info.m, info.n, info.k);
     else

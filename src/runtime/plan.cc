@@ -1,5 +1,6 @@
 #include "runtime/plan.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "kernel/microkernel.h"
@@ -185,6 +186,14 @@ class Lowerer {
     if (stmt.batchIndex) d.batchExpr = lowerExpr(*stmt.batchIndex);
     d.rowExpr = lowerExpr(stmt.rowStart);
     d.colExpr = lowerExpr(stmt.colStart);
+    if (stmt.clampToBounds) {
+      // Edge tiles: the executor clamps rows/cols against the shape
+      // parameters at issue time, keeping the full-tile SPM row stride.
+      d.clamp = true;
+      d.base.spmRowStrideElems = stmt.tileCols;
+      d.rowBoundSlot = slotOf(stmt.rowsParam);
+      d.colBoundSlot = slotOf(stmt.colsParam);
+    }
     d.buffer = lowerBuffer(stmt.buffer);
     if (d.buffer.base < 0)
       bad(strCat("negative SPM offset ", d.buffer.base));
@@ -243,6 +252,18 @@ class Lowerer {
     c.k = info.k;
     c.flops = 2.0 * static_cast<double>(info.m) *
               static_cast<double>(info.n) * static_cast<double>(info.k);
+    if (info.clampM) {
+      c.mOriginExpr = lowerExpr(info.clampM->origin);
+      c.mBoundSlot = slotOf(info.clampM->boundParam);
+    }
+    if (info.clampN) {
+      c.nOriginExpr = lowerExpr(info.clampN->origin);
+      c.nBoundSlot = slotOf(info.clampN->boundParam);
+    }
+    if (info.clampK) {
+      c.kOriginExpr = lowerExpr(info.clampK->origin);
+      c.kBoundSlot = slotOf(info.clampK->boundParam);
+    }
     c.a = lowerBuffer(info.a);
     c.b = lowerBuffer(info.b);
     c.c = lowerBuffer(info.c);
@@ -433,6 +454,26 @@ class PlanExecutor {
     request.batchIndex = d.batchExpr >= 0 ? evalExpr(d.batchExpr) : 0;
     request.rowStart = evalExpr(d.rowExpr);
     request.colStart = evalExpr(d.colExpr);
+    if (d.clamp) {
+      // Edge tiles: transfer min(tile, bound - offset) per dimension (the
+      // template is mutable, so restore from the full-tile base first).  A
+      // tile entirely past the bound becomes an empty transfer that still
+      // signals its reply slot.
+      request.tileRows =
+          std::min(d.base.tileRows,
+                   frame_[static_cast<std::size_t>(d.rowBoundSlot)] -
+                       request.rowStart);
+      request.tileCols =
+          std::min(d.base.tileCols,
+                   frame_[static_cast<std::size_t>(d.colBoundSlot)] -
+                       request.colStart);
+      if (request.tileRows <= 0 || request.tileCols <= 0) {
+        request.tileRows = 0;
+        request.tileCols = 0;
+        request.rowStart = 0;
+        request.colStart = 0;
+      }
+    }
     request.spmOffsetBytes = resolveBuffer(d.buffer);
     if ((request.rowStart | request.colStart | request.batchIndex) < 0)
       throwNegativeDma(d, request);
@@ -493,12 +534,38 @@ class PlanExecutor {
 
   void execCompute(int index) {
     const PlanCompute& c = plan_.computes[static_cast<std::size_t>(index)];
-    services_.computeTime(c.flops, c.isAsm ? sunway::ComputeRate::kAsmKernel
-                                           : sunway::ComputeRate::kNaive);
+    // Edge tiles: clamp each dimension to the valid extent; a fully
+    // out-of-range tile skips the kernel (and charges zero flops).
+    std::int64_t m = c.m, n = c.n, k = c.k;
+    double flops = c.flops;
+    if (c.mBoundSlot >= 0)
+      m = std::min(m, frame_[static_cast<std::size_t>(c.mBoundSlot)] -
+                          evalExpr(c.mOriginExpr));
+    if (c.nBoundSlot >= 0)
+      n = std::min(n, frame_[static_cast<std::size_t>(c.nBoundSlot)] -
+                          evalExpr(c.nOriginExpr));
+    if (c.kBoundSlot >= 0)
+      k = std::min(k, frame_[static_cast<std::size_t>(c.kBoundSlot)] -
+                          evalExpr(c.kOriginExpr));
+    const bool partial = m != c.m || n != c.n || k != c.k;
+    if (partial) {
+      if (m <= 0 || n <= 0 || k <= 0) return;
+      flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+              static_cast<double>(k);
+    }
+    services_.computeTime(flops, c.isAsm ? sunway::ComputeRate::kAsmKernel
+                                         : sunway::ComputeRate::kNaive);
     if (!functional_) return;
     double* cp = services_.spmPtr(resolveBuffer(c.c));
     double* ap = services_.spmPtr(resolveBuffer(c.a));
     double* bp = services_.spmPtr(resolveBuffer(c.b));
+    if (partial) {
+      // Partial tile at full-tile SPM strides: strided edge kernel, same
+      // per-element accumulation order as the full-shape kernels.
+      kernel::dgemmEdgeKernel(cp, ap, bp, m, n, k, /*lda=*/c.k,
+                              /*ldb=*/c.n, /*ldc=*/c.n);
+      return;
+    }
     if (c.isAsm)
       kernel::dgemmMicroKernel(cp, ap, bp, c.m, c.n, c.k);
     else

@@ -103,6 +103,12 @@ struct PlanDma {
   int colExpr = 0;
   PlanBufferRef buffer;
   int stmt = 0;  // index into stmtNames, for error messages
+  /// Edge-tile clamping: effective rows/cols = min(tile, frame[bound] -
+  /// start), possibly empty; base.spmRowStrideElems carries the full-tile
+  /// stride.  Bound slots are the rowsParam/colsParam parameter slots.
+  bool clamp = false;
+  int rowBoundSlot = -1;
+  int colBoundSlot = -1;
 };
 
 /// Pre-filled RMA broadcast template plus its lowered sender guard.
@@ -126,6 +132,11 @@ struct PlanCompute {
   std::int64_t m = 0, n = 0, k = 0;
   double flops = 0.0;
   PlanBufferRef a, b, c;
+  /// Edge-tile clamps (boundSlot < 0 means the dimension is unclamped):
+  /// effective extent = min(full, frame[boundSlot] - eval(originExpr)).
+  /// Any non-positive effective extent skips the kernel call entirely.
+  int mOriginExpr = -1, nOriginExpr = -1, kOriginExpr = -1;
+  int mBoundSlot = -1, nBoundSlot = -1, kBoundSlot = -1;
 };
 
 struct PlanElementwise {

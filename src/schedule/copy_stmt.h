@@ -76,6 +76,14 @@ struct CopyStmt {
   /// slot name.
   std::string replySlot;
 
+  /// Edge-tile mode (DMA only): clamp the transferred extent at runtime to
+  /// min(tile, bound - offset) per dimension, where the bounds are the
+  /// `rowsParam`/`colsParam` parameters.  The SPM destination keeps the
+  /// full-tile row stride so in-SPM consumers (transpose, scaling, the
+  /// micro-kernel) see an unchanged layout; a fully out-of-range tile
+  /// degenerates to a zero-byte transfer that still signals its reply slot.
+  bool clampToBounds = false;
+
   [[nodiscard]] std::int64_t sizeElements() const {
     return tileRows * tileCols;
   }
@@ -90,6 +98,14 @@ struct ReplyWaitStmt {
   std::int64_t count = 1;
 };
 
+/// Edge-tile clamp for one compute dimension: the effective extent is
+/// min(tile, P[boundParam] - origin) evaluated at runtime; non-positive
+/// values skip the kernel call entirely (empty remainder tile).
+struct ComputeClamp {
+  poly::AffineExpr origin;  // global start index of this dimension's tile
+  std::string boundParam;   // "M", "N", or "K"
+};
+
 /// Payload of the mark node that replaces the innermost point band with a
 /// compute kernel (§7.2).  kAsm invokes the vendor-style micro-kernel,
 /// kNaive the straightforward loop nest (--no-use-asm).
@@ -100,6 +116,13 @@ struct ComputeMarkInfo {
   SpmBufferRef b;  // right operand tile in SPM
   SpmBufferRef c;  // accumulator tile in SPM
   std::int64_t m = 64, n = 64, k = 32;  // tile shape contract
+  /// Edge-tile mode: runtime clamps per dimension.  When every effective
+  /// extent equals the full tile the asm contract kernel runs unchanged;
+  /// any partial extent dispatches to the strided edge kernel (the SPM
+  /// tiles keep full-tile strides).
+  std::optional<ComputeClamp> clampM;
+  std::optional<ComputeClamp> clampN;
+  std::optional<ComputeClamp> clampK;
 };
 
 /// Payload of a mark node performing an element-wise operation over an SPM

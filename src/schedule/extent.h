@@ -1,10 +1,10 @@
 // Symbolic loop extents.
 //
 // After tiling, every loop the code generator emits has an extent of the
-// form  constant + param/divisor  (e.g. 8, 64, M/512, K/256).  The compiler
-// enforces the paper's shape preconditions (M, N multiples of 512, K a
-// multiple of 256 — §8.1 "one can manually construct such shapes through
-// zero padding"), so the division is always exact.
+// form  constant + ceil(param/divisor)  (e.g. 8, 64, ceil(M/512),
+// ceil(K/256)).  For the paper's padded shapes (§8.1) the division is
+// exact; for arbitrary shapes the ceiling admits a final partial tile,
+// whose DMA/compute extents are clamped at runtime by the edge-tile path.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +23,7 @@ class Extent {
     e.constant_ = value;
     return e;
   }
-  /// param / divisor (exact division enforced at evaluation).
+  /// ceil(param / divisor); exact when the parameter is a multiple.
   static Extent paramDiv(std::string param, std::int64_t divisor) {
     Extent e;
     e.param_ = std::move(param);

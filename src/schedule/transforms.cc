@@ -7,14 +7,14 @@ namespace sw::sched {
 
 namespace {
 
-/// extent / divisor, exact.
+/// ceil(extent / divisor).  Exact for the padded shapes of §8.1; for
+/// arbitrary shapes the extra partial tile is handled by runtime clamping
+/// (edge-tile codegen).  Note ceil(ceil(K/a)/b) == ceil(K/(a*b)), so
+/// composing symbolic divisors stays a single paramDiv.
 Extent divideExtent(const Extent& extent, std::int64_t divisor) {
   SW_CHECK(divisor > 0, "extent divisor must be positive");
   if (extent.isConstant()) {
-    SW_CHECK(extent.constantPart() % divisor == 0,
-             strCat("extent ", extent.toString(), " not divisible by ",
-                    divisor));
-    return Extent::constant(extent.constantPart() / divisor);
+    return Extent::constant((extent.constantPart() + divisor - 1) / divisor);
   }
   SW_CHECK(extent.constantPart() == 0,
            "cannot divide an offset symbolic extent");

@@ -36,8 +36,9 @@ BandNode& tileBand(ScheduleTree& tree, BandNode& band,
 /// replaced by an outer member (var `outerVar`, expr floor(e/factor),
 /// extent extent/factor) in a new band above, and the residue
 /// (var `innerVar`, expr e - factor*floor(e/factor), extent factor) stays.
-/// Requires the member extent to be divisible by `factor` (guaranteed by
-/// the driver's padding).  Returns the new outer band.
+/// Non-divisible extents round up (ceiling division): the final partial
+/// strip is emitted as an edge tile whose transfers and compute are clamped
+/// at runtime.  Returns the new outer band.
 BandNode& stripMineMember(ScheduleTree& tree, BandNode& band,
                           std::size_t index, std::int64_t factor,
                           const std::string& outerVar,

@@ -13,11 +13,11 @@ std::int64_t Extent::evaluate(
   auto it = params.find(*param_);
   SW_CHECK(it != params.end(), strCat("unbound extent parameter '", *param_,
                                       "'"));
-  SW_CHECK(it->second % divisor_ == 0,
-           strCat("extent ", *param_, "=", it->second,
-                  " is not a multiple of ", divisor_,
-                  " (the driver should have padded the problem)"));
-  return constant_ + it->second / divisor_;
+  SW_CHECK(it->second > 0, strCat("extent parameter ", *param_, "=",
+                                  it->second, " must be positive"));
+  // Ceiling division: non-multiple shapes get one extra (partial) tile,
+  // whose transfers/compute are clamped at runtime by the edge-tile path.
+  return constant_ + (it->second + divisor_ - 1) / divisor_;
 }
 
 std::string Extent::toString() const {

@@ -132,10 +132,12 @@ class SymmetricCpeServices final : public CpeServices {
         seconds = config_.cpeComputeSeconds(flops, config_.cpeFlopsPerCycle,
                                             config_.asmKernelEfficiency);
         ++counters_.microKernelCalls;
+        counters_.flops += flops;
         name = "microkernel";
         break;
       case ComputeRate::kNaive:
         seconds = config_.cpeComputeSeconds(flops, config_.naiveFlopsPerCycle);
+        counters_.flops += flops;
         name = "naive_compute";
         break;
       case ComputeRate::kElementwise:

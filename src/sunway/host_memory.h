@@ -42,23 +42,46 @@ class HostArray {
     return a;
   }
 
+  /// Functional array over caller-owned storage (no copy): the edge-tile
+  /// path registers the user's unpadded row-major buffers directly.  The
+  /// caller guarantees `external` outlives the array and holds
+  /// batch*rows*cols elements.
+  static HostArray borrow(std::string name, std::int64_t batch,
+                          std::int64_t rows, std::int64_t cols,
+                          double* external) {
+    SW_CHECK(external != nullptr, "cannot borrow a null buffer");
+    HostArray a;
+    a.name_ = std::move(name);
+    a.batch_ = batch;
+    a.rows_ = rows;
+    a.cols_ = cols;
+    a.external_ = external;
+    return a;
+  }
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::int64_t batch() const { return batch_; }
   [[nodiscard]] std::int64_t rows() const { return rows_; }
   [[nodiscard]] std::int64_t cols() const { return cols_; }
-  [[nodiscard]] bool hasData() const { return !data_.empty(); }
+  [[nodiscard]] bool hasData() const {
+    return external_ != nullptr || !data_.empty();
+  }
 
-  [[nodiscard]] double* data() { return data_.data(); }
-  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] double* data() {
+    return external_ != nullptr ? external_ : data_.data();
+  }
+  [[nodiscard]] const double* data() const {
+    return external_ != nullptr ? external_ : data_.data();
+  }
 
   [[nodiscard]] double& at(std::int64_t b, std::int64_t r, std::int64_t c) {
     checkIndex(b, r, c);
-    return data_[static_cast<std::size_t>((b * rows_ + r) * cols_ + c)];
+    return data()[static_cast<std::size_t>((b * rows_ + r) * cols_ + c)];
   }
   [[nodiscard]] double at(std::int64_t b, std::int64_t r,
                           std::int64_t c) const {
     checkIndex(b, r, c);
-    return data_[static_cast<std::size_t>((b * rows_ + r) * cols_ + c)];
+    return data()[static_cast<std::size_t>((b * rows_ + r) * cols_ + c)];
   }
 
   /// Row-major flat offset of element (b, r, c); bounds-checked.
@@ -81,6 +104,8 @@ class HostArray {
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
   std::vector<double> data_;
+  /// Caller-owned storage (borrow()); nullptr when data_ owns the bytes.
+  double* external_ = nullptr;
 };
 
 class HostMemory {

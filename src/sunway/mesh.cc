@@ -647,11 +647,13 @@ class ThreadedCpeServices final : public CpeServices {
             flops, mesh_.config_.cpeFlopsPerCycle,
             mesh_.config_.asmKernelEfficiency);
         ++counters_.microKernelCalls;
+        counters_.flops += flops;
         name = "microkernel";
         break;
       case ComputeRate::kNaive:
         seconds = mesh_.config_.cpeComputeSeconds(
             flops, mesh_.config_.naiveFlopsPerCycle);
+        counters_.flops += flops;
         name = "naive_compute";
         break;
       case ComputeRate::kElementwise:
@@ -718,13 +720,25 @@ class ThreadedCpeServices final : public CpeServices {
   }
 
   void moveDmaData(const DmaRequest& request) {
+    // Edge-tile transfers clamped to nothing still signal their reply slot
+    // but move no data.
+    if (request.tileRows == 0 || request.tileCols == 0) return;
     HostArray& array = hostArray(request);
     SW_CHECK(array.hasData(), "functional DMA against a virtual array");
     double* spm = spmPtrOf(cpeId_, request.spmOffsetBytes);
-    // Validate the SPM side of the transfer fits.
-    const std::int64_t words = request.tileRows * request.tileCols;
+    // SPM row stride: clamped edge tiles keep the full-tile stride so the
+    // in-SPM layout matches what the compute/element-wise marks expect.
+    const std::int64_t stride = request.spmRowStrideElems > 0
+                                    ? request.spmRowStrideElems
+                                    : request.tileCols;
+    SW_CHECK(stride >= request.tileCols,
+             strCat("SPM row stride ", stride, " narrower than tile row ",
+                    request.tileCols));
+    // Validate the SPM side of the transfer fits (last word of last row).
+    const std::int64_t lastWord =
+        (request.tileRows - 1) * stride + request.tileCols - 1;
     (void)spmPtrOf(cpeId_, request.spmOffsetBytes +
-                               (words - 1) *
+                               lastWord *
                                    static_cast<std::int64_t>(sizeof(double)));
     for (std::int64_t r = 0; r < request.tileRows; ++r) {
       const std::int64_t hostOffset = array.offsetOf(
@@ -733,7 +747,7 @@ class ThreadedCpeServices final : public CpeServices {
       (void)array.offsetOf(request.batchIndex, request.rowStart + r,
                            request.colStart + request.tileCols - 1);
       double* hostRow = array.data() + hostOffset;
-      double* spmRow = spm + r * request.tileCols;
+      double* spmRow = spm + r * stride;
       const std::size_t bytes =
           static_cast<std::size_t>(request.tileCols) * sizeof(double);
       if (request.isPut)

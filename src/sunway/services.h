@@ -33,6 +33,12 @@ struct DmaRequest {
   std::int64_t tileRows = 0;  // X_tau
   std::int64_t tileCols = 0;  // Y_tau  (== len)
   std::int64_t spmOffsetBytes = 0;
+  /// SPM row stride in elements; 0 means tileCols (dense tile).  Edge-tile
+  /// transfers clamp tileRows/tileCols to the valid extent but keep the
+  /// full-tile stride here so the in-SPM layout is unchanged.  A clamped
+  /// request may legally be empty (tileRows == 0 or tileCols == 0): it
+  /// moves no data but still signals its reply slot.
+  std::int64_t spmRowStrideElems = 0;
   std::string slot;
   /// Dense ids interned via CpeServices::internArray / internSlot.  The
   /// lowered-plan executor binds these once per run so the hot path never
@@ -79,6 +85,11 @@ struct CpeCounters {
   std::int64_t rmaBytesSent = 0;
   std::int64_t syncs = 0;
   std::int64_t microKernelCalls = 0;
+  /// Floating-point operations charged to compute kernels (micro-kernel
+  /// rates only, not element-wise ops).  Edge-tile runs charge the clamped
+  /// effective shape, so partial tiles cost strictly fewer flops than the
+  /// padded-full-tile convention they replace.
+  double flops = 0.0;
   double computeSeconds = 0.0;
   /// Time the CPE's DMA engine spends transferring (may overlap compute —
   /// that overlap is exactly what §6's pipelining buys).
@@ -100,6 +111,7 @@ struct CpeCounters {
     rmaBytesSent += other.rmaBytesSent;
     syncs += other.syncs;
     microKernelCalls += other.microKernelCalls;
+    flops += other.flops;
     computeSeconds += other.computeSeconds;
     dmaBusySeconds += other.dmaBusySeconds;
     rmaBusySeconds += other.rmaBusySeconds;

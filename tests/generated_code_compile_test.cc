@@ -46,6 +46,7 @@ struct Config {
   const char* name;
   bool useAsm, useRma, hide, batched;
   FusionKind fusion;
+  bool edgeTiles = false;
 };
 
 class GeneratedCode : public ::testing::TestWithParam<Config> {};
@@ -58,6 +59,7 @@ TEST_P(GeneratedCode, CompilesWithHostCc) {
   options.hideLatency = cfg.hide;
   options.batched = cfg.batched;
   options.fusion = cfg.fusion;
+  options.edgeTiles = cfg.edgeTiles;
   SwGemmCompiler compiler;
   CompiledKernel kernel = compiler.compile(options);
   EXPECT_TRUE(compilesAsC(kernel.cpeSource,
@@ -79,7 +81,11 @@ INSTANTIATE_TEST_SUITE_P(
         Config{"epilogue", true, true, true, false,
                FusionKind::kEpilogueRelu},
         Config{"batched_fused", true, true, true, true,
-               FusionKind::kEpilogueRelu}),
+               FusionKind::kEpilogueRelu},
+        Config{"edge", true, true, true, false, FusionKind::kNone,
+               /*edgeTiles=*/true},
+        Config{"edge_no_rma", true, false, false, false, FusionKind::kNone,
+               /*edgeTiles=*/true}),
     [](const ::testing::TestParamInfo<Config>& info) {
       return info.param.name;
     });

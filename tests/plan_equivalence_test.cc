@@ -34,6 +34,7 @@ void expectCountersEqual(const sunway::CpeCounters& plan,
   EXPECT_EQ(plan.rmaBytesSent, tree.rmaBytesSent);
   EXPECT_EQ(plan.syncs, tree.syncs);
   EXPECT_EQ(plan.microKernelCalls, tree.microKernelCalls);
+  EXPECT_EQ(plan.flops, tree.flops);
   EXPECT_EQ(plan.computeSeconds, tree.computeSeconds);
   EXPECT_EQ(plan.dmaBusySeconds, tree.dmaBusySeconds);
   EXPECT_EQ(plan.rmaBusySeconds, tree.rmaBusySeconds);
@@ -52,6 +53,7 @@ struct PlanCase {
   bool useAsm = true;
   FusionKind fusion = FusionKind::kNone;
   const char* inject = nullptr;  // --inject spec, nullptr = no faults
+  bool edgeTiles = false;        // compile edge tiles, run unpadded
 };
 
 class PlanEquivalence : public ::testing::TestWithParam<PlanCase> {};
@@ -64,6 +66,7 @@ TEST_P(PlanEquivalence, MatchesTreeWalkBitExactly) {
   options.hideLatency = pc.hideLatency;
   options.useAsm = pc.useAsm;
   options.fusion = pc.fusion;
+  options.edgeTiles = pc.edgeTiles;
   SwGemmCompiler compiler;
   CompiledKernel kernel = compiler.compile(options);
   ASSERT_NE(kernel.plan, nullptr);
@@ -123,7 +126,16 @@ INSTANTIATE_TEST_SUITE_P(
         PlanCase{"fault_delay_mix", 96, 96, 96, 1, 1.0, 0.0, false, true,
                  true, true, FusionKind::kNone,
                  "dma-delay:occ=0:count=3:seconds=2e-6;stall:cpe=5:occ=1:"
-                 "seconds=1e-6"}),
+                 "seconds=1e-6"},
+        // Edge-tile kernels bind the caller's unpadded arrays; both engines
+        // must clamp identically.
+        PlanCase{"edge_square", 100, 100, 100, 1, 1.0, 1.0, false, true,
+                 true, true, FusionKind::kNone, nullptr, /*edgeTiles=*/true},
+        PlanCase{"edge_irregular", 63, 129, 65, 1, -1.5, 0.25, false, true,
+                 true, true, FusionKind::kNone, nullptr, /*edgeTiles=*/true},
+        PlanCase{"edge_no_rma", 65, 63, 33, 1, 1.0, 1.0, false,
+                 /*useRma=*/false, /*hideLatency=*/false, true,
+                 FusionKind::kNone, nullptr, /*edgeTiles=*/true}),
     [](const ::testing::TestParamInfo<PlanCase>& info) {
       return info.param.label;
     });

@@ -31,8 +31,11 @@ TEST(Extent, EvaluateParamDiv) {
   Extent e = Extent::paramDiv("K", 256);
   EXPECT_EQ(e.evaluate({{"K", 1024}}), 4);
   EXPECT_EQ(e.plus(-1).evaluate({{"K", 1024}}), 3);
-  EXPECT_THROW((void)e.evaluate({{"K", 1000}}), sw::InternalError);  // not padded
-  EXPECT_THROW((void)e.evaluate({{"M", 512}}), sw::InternalError);   // unbound
+  // Non-multiples round up: the last tile is a runtime-clamped edge tile.
+  EXPECT_EQ(e.evaluate({{"K", 1000}}), 4);
+  EXPECT_EQ(e.evaluate({{"K", 1025}}), 5);
+  EXPECT_THROW((void)e.evaluate({{"M", 512}}), sw::InternalError);  // unbound
+  EXPECT_THROW((void)e.evaluate({{"K", 0}}), sw::InternalError);  // nonpositive
 }
 
 TEST(Extent, ToString) {

@@ -49,6 +49,29 @@ TEST(Tuner, AsmContractDominatesEverythingElse) {
   }
 }
 
+TEST(Tuner, TinySpmRaisesStructuredError) {
+  // With a 4 KB SPM no candidate fits even single-buffered; the search
+  // must raise a structured InputError naming the budget instead of dying
+  // on an internal invariant.
+  sunway::ArchConfig arch;
+  arch.spmBytes = 4 * 1024;
+  try {
+    tuneTileSizes(CodegenOptions{}, arch, GemmProblem{512, 512, 512});
+    FAIL() << "expected InputError for an SPM too small for any candidate";
+  } catch (const sw::InputError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("SPM budget of 4096 bytes"), std::string::npos) << msg;
+  }
+}
+
+TEST(Tuner, BestOnEmptyResultThrowsInsteadOfIndexing) {
+  TuneResult empty;
+  EXPECT_THROW((void)empty.best(), sw::InputError);
+  TuneResult infeasibleOnly;
+  infeasibleOnly.candidates.push_back(TuneCandidate{});
+  EXPECT_THROW((void)infeasibleOnly.best(), sw::InputError);
+}
+
 std::vector<double> randomMatrix(std::int64_t count, unsigned seed) {
   std::mt19937 rng(seed);
   std::uniform_real_distribution<double> dist(-1.0, 1.0);
