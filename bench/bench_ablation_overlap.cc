@@ -44,11 +44,10 @@ int main(int argc, char** argv) {
   sw::bench::printTable();
   for (std::int64_t k : {256L, 1024L, 4096L, 16384L}) {
     for (bool hide : {true, false}) {
+      const std::string caseName = "AblationOverlap/K" + std::to_string(k) +
+                                   (hide ? "/hiding" : "/no-hiding");
       benchmark::RegisterBenchmark(
-          ("AblationOverlap/K" + std::to_string(k) +
-           (hide ? "/hiding" : "/no-hiding"))
-              .c_str(),
-          [k, hide](benchmark::State& state) {
+          caseName.c_str(), [caseName, k, hide](benchmark::State& state) {
             static sw::bench::KernelCache cache;
             sw::rt::RunOutcome outcome;
             for (auto _ : state)
@@ -56,6 +55,7 @@ int main(int argc, char** argv) {
                   cache.estimate(sw::bench::variantOptions(true, true, hide),
                                  sw::bench::Shape{4096, 4096, k});
             sw::bench::exportRunCounters(state, outcome, cache.arch());
+            sw::bench::exportCaseReport(caseName, outcome);
           });
     }
   }

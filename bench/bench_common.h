@@ -10,7 +10,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -112,6 +116,30 @@ inline void exportRunCounters(benchmark::State& state,
   state.counters["compute_pct"] = outcome.metrics.computePct;
   state.counters["spm_high_water_kb"] =
       static_cast<double>(outcome.metrics.spmHighWaterBytes) / 1024.0;
+  state.counters["ceiling_utilization"] =
+      outcome.report.roofline.ceilingUtilization;
+}
+
+/// When $SWBENCH_REPORT_DIR is set, write the case's PerfReport JSON to
+/// `<dir>/<sanitized case name>.json` so CI can archive per-case roofline
+/// evidence and tools/perf_trajectory.py can append it to the trajectory.
+/// `caseName` is passed explicitly: the installed google-benchmark State
+/// exposes no name accessor, and the registration site knows it anyway.
+inline void exportCaseReport(const std::string& caseName,
+                             const rt::RunOutcome& outcome) {
+  const char* dir = std::getenv("SWBENCH_REPORT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::string file;
+  file.reserve(caseName.size());
+  for (const char c : caseName)
+    file += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+             c == '.')
+                ? c
+                : '_';
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream out(std::filesystem::path(dir) / (file + ".json"));
+  if (out) out << outcome.report.toJson() << "\n";
 }
 
 }  // namespace sw::bench

@@ -63,12 +63,13 @@ void printTable() {
                   peak);
 }
 
-void benchVariant(benchmark::State& state, const core::CodegenOptions& options,
-                  const Shape& shape) {
+void benchVariant(benchmark::State& state, const std::string& caseName,
+                  const core::CodegenOptions& options, const Shape& shape) {
   static KernelCache cache;
   rt::RunOutcome outcome;
   for (auto _ : state) outcome = cache.estimate(options, shape);
   exportRunCounters(state, outcome, cache.arch());
+  exportCaseReport(caseName, outcome);
 }
 
 }  // namespace
@@ -78,10 +79,12 @@ int main(int argc, char** argv) {
   sw::bench::printTable();
   for (const auto& [label, options] : sw::bench::breakdownVariants()) {
     for (const sw::bench::Shape& shape : sw::bench::squares()) {
+      const std::string caseName =
+          std::string("Fig13/") + label + "/" + shape.label();
       benchmark::RegisterBenchmark(
-          (std::string("Fig13/") + label + "/" + shape.label()).c_str(),
-          [options = options, shape](benchmark::State& state) {
-            sw::bench::benchVariant(state, options, shape);
+          caseName.c_str(),
+          [caseName, options = options, shape](benchmark::State& state) {
+            sw::bench::benchVariant(state, caseName, options, shape);
           });
     }
   }

@@ -11,23 +11,73 @@
 
 namespace sw::rt {
 
+namespace {
+
+/// Shape bound into `params`, if present (0 when the program has no such
+/// parameter — e.g. a non-GEMM kernel).
+std::int64_t paramOrZero(const std::map<std::string, std::int64_t>& params,
+                         const char* name) {
+  auto it = params.find(name);
+  return it == params.end() ? 0 : it->second;
+}
+
+perf::PerfReport buildRunReport(
+    const codegen::KernelProgram& program, const std::string& engine,
+    const std::map<std::string, std::int64_t>& params, double wallSeconds,
+    int cpeCount, double reportedFlops, const sunway::CpeCounters& totals,
+    const sunway::ArchConfig& config) {
+  perf::RunSample sample;
+  sample.kernel = program.name;
+  sample.engine = engine;
+  sample.m = paramOrZero(params, "M");
+  sample.n = paramOrZero(params, "N");
+  sample.k = paramOrZero(params, "K");
+  sample.batch = paramOrZero(params, "BATCH");
+  sample.wallSeconds = wallSeconds;
+  sample.cpeCount = cpeCount;
+  sample.reportedFlops = reportedFlops;
+  sample.computeSeconds = totals.computeSeconds;
+  sample.dmaStallSeconds = totals.dmaStallSeconds;
+  sample.rmaStallSeconds = totals.rmaStallSeconds;
+  sample.syncStallSeconds = totals.syncStallSeconds;
+  sample.retryStallSeconds = totals.retryStallSeconds;
+  sample.dmaBusySeconds = totals.dmaBusySeconds;
+  sample.rmaBusySeconds = totals.rmaBusySeconds;
+  sample.dmaMessages = totals.dmaMessages;
+  sample.dmaBytes = totals.dmaBytes;
+  sample.rmaBroadcastsSent = totals.rmaBroadcastsSent;
+  sample.rmaBytesSent = totals.rmaBytesSent;
+  sample.syncs = totals.syncs;
+  sample.microKernelCalls = totals.microKernelCalls;
+  sample.faultsInjected = totals.faultsInjected;
+  sample.dmaRetries = totals.dmaRetries;
+  return perf::buildPerfReport(sample, machineModelFromArch(config));
+}
+
+}  // namespace
+
+perf::MachineModel machineModelFromArch(const sunway::ArchConfig& config) {
+  perf::MachineModel machine;
+  machine.peakGflops = config.peakFlops() * config.asmKernelEfficiency / 1e9;
+  machine.peakDmaGBps = config.ddrBandwidthBytesPerSec / 1e9;
+  machine.peakRmaGBps = config.rmaBandwidthBytesPerSec / 1e9;
+  machine.meshSize = config.meshSize();
+  return machine;
+}
+
 metrics::DerivedRunMetrics deriveRunMetrics(
     const sunway::CpeCounters& totals, double wallSeconds, int cpeCount,
     const codegen::KernelProgram& program, std::int64_t spmBudgetBytes) {
   metrics::DerivedRunMetrics m;
   const double busy = totals.dmaBusySeconds + totals.rmaBusySeconds;
-  if (busy > 0.0) {
-    const double hidden =
-        std::clamp(busy - totals.waitStallSeconds, 0.0, busy);
-    m.overlapPct = 100.0 * hidden / busy;
-  }
+  const double hidden = std::clamp(busy - totals.waitStallSeconds, 0.0, busy);
+  // safePct maps an idle engine (busy == 0) to 0%, never NaN.
+  m.overlapPct = metrics::safePct(hidden, busy);
   const double active = totals.computeSeconds + totals.waitStallSeconds;
-  if (active > 0.0)
-    m.stallPct = 100.0 * totals.waitStallSeconds / active;
+  m.stallPct = metrics::safePct(totals.waitStallSeconds, active);
   const double aggregateWall = wallSeconds * static_cast<double>(cpeCount);
-  if (aggregateWall > 0.0)
-    m.computePct =
-        std::min(100.0, 100.0 * totals.computeSeconds / aggregateWall);
+  m.computePct = std::min(
+      100.0, metrics::safePct(totals.computeSeconds, aggregateWall));
   m.spmHighWaterBytes = program.spmBytesUsed();
   m.spmBudgetBytes = spmBudgetBytes;
   if (spmBudgetBytes > 0)
@@ -83,13 +133,17 @@ RunOutcome runOnMesh(sunway::MeshSimulator& mesh,
       });
   RunOutcome outcome;
   outcome.seconds = meshResult.seconds;
-  outcome.gflops = reportedFlops / meshResult.seconds / 1e9;
+  outcome.gflops = metrics::safeDiv(reportedFlops, meshResult.seconds) / 1e9;
   outcome.counters = meshResult.totals;
   outcome.metrics =
       deriveRunMetrics(meshResult.totals, meshResult.seconds,
                        mesh.config().meshSize(), program,
                        mesh.config().spmBytes);
   outcome.metrics.publish(metrics::MetricsRegistry::global(), "run.mesh.");
+  outcome.report =
+      buildRunReport(program, "mesh", params, meshResult.seconds,
+                     mesh.config().meshSize(), reportedFlops,
+                     meshResult.totals, mesh.config());
   // Resilience counters accumulate across runs (unlike the per-run gauges
   // above) so a degrading service call keeps the full fault history.
   if (meshResult.totals.faultsInjected > 0)
@@ -120,13 +174,17 @@ RunOutcome estimateTiming(const sunway::ArchConfig& config,
     runCpeProgram(program, params, ExecScalars{}, services);
   RunOutcome outcome;
   outcome.seconds = services.totalSeconds();
-  outcome.gflops = reportedFlops / outcome.seconds / 1e9;
+  outcome.gflops = metrics::safeDiv(reportedFlops, outcome.seconds) / 1e9;
   outcome.counters = services.counters();
   outcome.metrics = deriveRunMetrics(outcome.counters, outcome.seconds,
                                      /*cpeCount=*/1, program,
                                      config.spmBytes);
   outcome.metrics.publish(metrics::MetricsRegistry::global(),
                           "run.estimate.");
+  outcome.report =
+      buildRunReport(program, "estimator", params, outcome.seconds,
+                     /*cpeCount=*/1, reportedFlops, outcome.counters,
+                     config);
   SW_DEBUG("executor", "event=estimate kernel=", program.name,
            " sim_seconds=", outcome.seconds, " gflops=", outcome.gflops,
            " overlap_pct=", outcome.metrics.overlapPct,

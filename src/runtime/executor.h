@@ -12,6 +12,7 @@
 #include "sunway/arch.h"
 #include "sunway/mesh.h"
 #include "support/metrics.h"
+#include "support/perf_report.h"
 
 namespace sw::rt {
 
@@ -32,11 +33,21 @@ struct RunOutcome {
   /// Derived gauges (overlap %, stall %, SPM high-water vs. budget,
   /// per-buffer bytes); filled by runOnMesh / estimateTiming.
   metrics::DerivedRunMetrics metrics;
+  /// The run's explanation layer: time attribution, roofline position and
+  /// top bottleneck (see support/perf_report.h); filled by runOnMesh /
+  /// estimateTiming for both engines.
+  perf::PerfReport report;
   /// Bytes runGemmFunctional copied between the caller's arrays and padded
   /// shadow arrays (pack + unpack).  Zero on the edge-tile path, which
   /// binds the caller's buffers directly.
   std::int64_t hostCopyBytes = 0;
 };
+
+/// Roofline ceilings for PerfReport, derived from the architecture model:
+/// peak GFLOPS at the asm micro-kernel rate, aggregate DDR bandwidth, and
+/// per-broadcast RMA bandwidth.
+[[nodiscard]] perf::MachineModel machineModelFromArch(
+    const sunway::ArchConfig& config);
 
 /// Compute the derived gauges from one run's aggregate counters.
 /// `cpeCount` is the number of CPEs the counters were summed over (64 for

@@ -16,6 +16,7 @@
 #include "support/digest.h"
 #include "support/error.h"
 #include "support/format.h"
+#include "support/histogram.h"
 #include "support/logging.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -38,6 +39,17 @@ double nowSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Record one request latency into the named histogram, refresh the
+/// percentile gauges, and return the histogram bucket label so the span
+/// can carry it (coarse timing survives even when the raw trace is off).
+std::string recordLatency(const char* histogram, double seconds) {
+  const double ms = seconds * 1e3;
+  metrics::HistogramRegistry::global().record(histogram, ms);
+  metrics::HistogramRegistry::global().publishPercentiles(
+      metrics::MetricsRegistry::global(), "ms");
+  return metrics::Histogram::bucketLabel(metrics::Histogram::bucketIndex(ms));
 }
 
 }  // namespace
@@ -77,8 +89,12 @@ KernelService::KernelPtr KernelService::compile(
   const std::string key = core::canonicalRequestKey(options, arch_);
   trace::Span span("service.request",
                    {trace::arg("key", digestHex(fnv1a64(key)))});
+  const double start = nowSeconds();
   KernelPtr kernel = serve(key, options, outcome);
   span.addArg(trace::arg("outcome", toString(*outcome)));
+  span.addArg(trace::arg(
+      "latency_bucket",
+      recordLatency("service.compile_latency", nowSeconds() - start)));
   return kernel;
 }
 
@@ -405,6 +421,7 @@ KernelService::ResilientRunResult KernelService::runResilient(
                    {trace::arg("m", problem.m), trace::arg("n", problem.n),
                     trace::arg("k", problem.k)},
                    "service");
+  const double start = nowSeconds();
 
   RunFn run = runFn_;
   if (!run) {
@@ -457,6 +474,9 @@ KernelService::ResilientRunResult KernelService::runResilient(
           run(*kernel, problem, a, b, std::span<double>(scratch), runConfig);
       std::copy(scratch.begin(), scratch.end(), c.begin());
       result.servedOptions = rung;
+      span.addArg(trace::arg(
+          "latency_bucket",
+          recordLatency("service.run_latency", nowSeconds() - start)));
       return result;
     } catch (const Error& error) {
       lastError = error.what();
@@ -478,6 +498,9 @@ KernelService::ResilientRunResult KernelService::runResilient(
   result.outcome = core::estimateGemm(*lastKernel, arch_, problem);
   result.servedOptions = lastKernel->options;
   result.usedEstimator = true;
+  span.addArg(trace::arg(
+      "latency_bucket",
+      recordLatency("service.run_latency", nowSeconds() - start)));
   return result;
 }
 

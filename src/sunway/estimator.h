@@ -49,6 +49,7 @@ class SymmetricCpeServices final : public CpeServices {
   void sync() override {
     ++counters_.syncs;
     clock_ += config_.syncSeconds;
+    counters_.syncStallSeconds += config_.syncSeconds;
   }
 
   void dmaIssue(const DmaRequest& request) override {
@@ -106,7 +107,6 @@ class SymmetricCpeServices final : public CpeServices {
   }
 
   void waitSlotId(int slotId, bool isRma, bool isRowBroadcast) override {
-    (void)isRma;
     (void)isRowBroadcast;
     const auto index = static_cast<std::size_t>(slotId);
     if (index >= slotCompletion_.size() || !slotHasMessage_[index])
@@ -116,6 +116,10 @@ class SymmetricCpeServices final : public CpeServices {
     const double completion = slotCompletion_[index];
     if (completion > clock_) {
       counters_.waitStallSeconds += completion - clock_;
+      if (isRma)
+        counters_.rmaStallSeconds += completion - clock_;
+      else
+        counters_.dmaStallSeconds += completion - clock_;
       if (tracing_)
         trace::Tracer::global().simSpan(trace::kEstimatorPid, 0,
                                         strCat("wait:", slotNames_.at(index)),

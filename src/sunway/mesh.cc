@@ -386,6 +386,7 @@ class ThreadedCpeServices final : public CpeServices {
   void stallFor(double seconds) override {
     if (seconds <= 0.0) return;
     counters_.waitStallSeconds += seconds;
+    counters_.retryStallSeconds += seconds;
     clock_ += seconds;
   }
 
@@ -425,6 +426,7 @@ class ThreadedCpeServices final : public CpeServices {
         // The stalled CPE reaches the barrier late; everyone inherits the
         // delay through the barrier's clock max.
         counters_.waitStallSeconds += fault.stallSeconds;
+        counters_.syncStallSeconds += fault.stallSeconds;
         clock_ += fault.stallSeconds;
       }
     }
@@ -451,6 +453,7 @@ class ThreadedCpeServices final : public CpeServices {
       }
     }
     clock_ = mesh_.barrierMaxClock_ + mesh_.config_.syncSeconds;
+    counters_.syncStallSeconds += clock_ - entryClock;
     lock.unlock();
     publishStatus(CpeStatus::kRunning, "");
     if (tracing_)
@@ -617,6 +620,7 @@ class ThreadedCpeServices final : public CpeServices {
                                    "' with no message"));
       if (slot.completion > clock_) {
         counters_.waitStallSeconds += slot.completion - clock_;
+        counters_.dmaStallSeconds += slot.completion - clock_;
         if (tracing_)
           trace::Tracer::global().simSpan(
               trace::kMeshPid, cpeId_,
@@ -826,6 +830,7 @@ class ThreadedCpeServices final : public CpeServices {
     const double completion = r.sendTimeSeconds + r.transferSeconds;
     if (completion > clock_) {
       counters_.waitStallSeconds += completion - clock_;
+      counters_.rmaStallSeconds += completion - clock_;
       if (tracing_)
         trace::Tracer::global().simSpan(
             trace::kMeshPid, cpeId_,

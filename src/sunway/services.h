@@ -99,6 +99,17 @@ struct CpeCounters {
   double rmaBusySeconds = 0.0;
   /// Time the CPE's clock is advanced by reply waits (exposed latency).
   double waitStallSeconds = 0.0;
+  /// Exposed-latency split of waitStallSeconds for per-bucket attribution
+  /// (PerfReport): stall charged at DMA reply waits, at RMA round waits,
+  /// and at interpreter retry backoffs.  dmaStall + rmaStall + retryStall
+  /// == waitStall up to fault-injected sync delays (also counted there).
+  double dmaStallSeconds = 0.0;
+  double rmaStallSeconds = 0.0;
+  double retryStallSeconds = 0.0;
+  /// Time spent at mesh barriers: waiting for the slowest CPE plus the
+  /// barrier cost itself.  Not part of waitStallSeconds (the overlap/stall
+  /// gauges predate it); PerfReport attributes it as the sync bucket.
+  double syncStallSeconds = 0.0;
   /// Fault-injection sites that fired on this CPE (zero without a plan).
   std::int64_t faultsInjected = 0;
   /// DMA operations the interpreter re-issued after a transient failure.
@@ -116,6 +127,10 @@ struct CpeCounters {
     dmaBusySeconds += other.dmaBusySeconds;
     rmaBusySeconds += other.rmaBusySeconds;
     waitStallSeconds += other.waitStallSeconds;
+    dmaStallSeconds += other.dmaStallSeconds;
+    rmaStallSeconds += other.rmaStallSeconds;
+    retryStallSeconds += other.retryStallSeconds;
+    syncStallSeconds += other.syncStallSeconds;
     faultsInjected += other.faultsInjected;
     dmaRetries += other.dmaRetries;
   }

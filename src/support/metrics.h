@@ -16,6 +16,16 @@
 
 namespace sw::metrics {
 
+class Histogram;
+
+/// 100 * numerator / denominator, hardened for gauge math: returns 0 when
+/// the denominator is zero/negative/non-finite or the numerator is
+/// non-finite (an idle engine must read as 0%, never NaN).
+[[nodiscard]] double safePct(double numerator, double denominator);
+
+/// numerator / denominator with the same hardening, 0 on bad input.
+[[nodiscard]] double safeDiv(double numerator, double denominator);
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& global();
@@ -61,5 +71,19 @@ struct DerivedRunMetrics {
   /// Publish all gauges into `registry` under `prefix`.
   void publish(MetricsRegistry& registry, const std::string& prefix) const;
 };
+
+/// Render a gauge snapshot as the --profile table: gauges grouped by their
+/// first dotted component, groups and rows sorted, names aligned, and the
+/// value column annotated with a unit inferred from the name suffix
+/// (_pct → %, _bytes → KB, _ms → ms, _seconds → s).  Deterministic for a
+/// given map; pinned by a snapshot test.
+[[nodiscard]] std::string formatMetricsTable(
+    const std::map<std::string, double>& gauges);
+
+/// Render a histogram snapshot as a count/p50/p90/p99/max table (one row
+/// per histogram, sorted by name).  `unit` annotates the columns.
+[[nodiscard]] std::string formatHistogramTable(
+    const std::map<std::string, Histogram>& histograms,
+    const std::string& unit);
 
 }  // namespace sw::metrics

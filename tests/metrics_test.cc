@@ -13,6 +13,7 @@
 #include "runtime/executor.h"
 #include "sunway/host_memory.h"
 #include "sunway/mesh.h"
+#include "support/histogram.h"
 #include "support/metrics.h"
 
 namespace sw {
@@ -78,6 +79,74 @@ TEST(DeriveRunMetrics, StallHeavyScheduleHasLowOverlap) {
   EXPECT_GE(m.stallPct, 50.0);
 }
 
+TEST(SafeMath, ZeroAndNonFiniteInputsYieldZero) {
+  EXPECT_EQ(metrics::safeDiv(1.0, 0.0), 0.0);
+  EXPECT_EQ(metrics::safeDiv(1.0, -2.0), 0.0);
+  EXPECT_EQ(metrics::safeDiv(std::nan(""), 2.0), 0.0);
+  EXPECT_EQ(metrics::safeDiv(1.0, std::nan("")), 0.0);
+  EXPECT_EQ(metrics::safeDiv(1.0, HUGE_VAL), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::safeDiv(6.0, 3.0), 2.0);
+  EXPECT_EQ(metrics::safePct(5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::safePct(1.0, 4.0), 25.0);
+}
+
+TEST(DeriveRunMetrics, IdleCountersAreZeroNeverNaN) {
+  // An idle run (zero busy, zero active, zero wall clock) must read as 0%
+  // everywhere — historically these divisions produced NaN gauges.
+  const sunway::CpeCounters idle;
+  codegen::KernelProgram program;
+  const metrics::DerivedRunMetrics m =
+      rt::deriveRunMetrics(idle, /*wallSeconds=*/0.0, /*cpeCount=*/64,
+                           program, /*spmBudgetBytes=*/256 * 1024);
+  EXPECT_EQ(m.overlapPct, 0.0);
+  EXPECT_EQ(m.stallPct, 0.0);
+  EXPECT_EQ(m.computePct, 0.0);
+  EXPECT_TRUE(std::isfinite(m.overlapPct));
+  EXPECT_TRUE(std::isfinite(m.stallPct));
+  EXPECT_TRUE(std::isfinite(m.computePct));
+  EXPECT_EQ(m.spmBudgetPct, 0.0);
+  for (const auto& [name, value] : m.toGauges("idle."))
+    EXPECT_TRUE(std::isfinite(value)) << name;
+}
+
+TEST(FormatMetricsTable, GroupsSortsAndAnnotatesUnits) {
+  const std::map<std::string, double> gauges = {
+      {"run.overlap_pct", 42.5},
+      {"run.spm_high_water_bytes", 2048.0},
+      {"service.requests", 3.0},
+  };
+  const std::string expected =
+      "run:\n"
+      "  overlap_pct                                        42.5 %\n"
+      "  spm_high_water_bytes                                2.0 KB\n"
+      "\n"
+      "service:\n"
+      "  requests                                              3\n";
+  EXPECT_EQ(metrics::formatMetricsTable(gauges), expected);
+}
+
+TEST(FormatMetricsTable, UngroupedGaugesGetTheirOwnSection) {
+  const std::string table =
+      metrics::formatMetricsTable({{"loose", 1.5}, {"g.x_ms", 2.0}});
+  EXPECT_NE(table.find("(ungrouped):"), std::string::npos);
+  EXPECT_NE(table.find("g:"), std::string::npos);
+  EXPECT_NE(table.find("ms"), std::string::npos);
+}
+
+TEST(FormatHistogramTable, OneRowPerHistogramWithPercentiles) {
+  metrics::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  std::map<std::string, metrics::Histogram> histograms;
+  histograms["svc.latency"] = h;
+  const std::string table =
+      metrics::formatHistogramTable(histograms, "ms");
+  EXPECT_NE(table.find("histogram"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+  EXPECT_NE(table.find("svc.latency"), std::string::npos);
+  EXPECT_NE(table.find("(ms)"), std::string::npos);
+  EXPECT_NE(table.find("100"), std::string::npos);  // count column
+}
+
 TEST(PerCpeCounters, FunctionalMeshRunInvariants) {
   core::SwGemmCompiler compiler;
   const core::CompiledKernel kernel = compiler.compile(core::CodegenOptions{});
@@ -117,6 +186,12 @@ TEST(PerCpeCounters, FunctionalMeshRunInvariants) {
   EXPECT_NEAR(resummed.waitStallSeconds, result.totals.waitStallSeconds,
               1e-12);
   EXPECT_EQ(resummed.dmaMessages, result.totals.dmaMessages);
+  // The exposed-stall split attributes every wait second to a cause
+  // (fault-free run: no sync delays leak into the wait total).
+  EXPECT_NEAR(result.totals.dmaStallSeconds + result.totals.rmaStallSeconds +
+                  result.totals.retryStallSeconds,
+              result.totals.waitStallSeconds, 1e-9);
+  EXPECT_GE(result.totals.syncStallSeconds, 0.0);
 
   const metrics::DerivedRunMetrics m =
       rt::deriveRunMetrics(result.totals, result.seconds, arch.meshSize(),

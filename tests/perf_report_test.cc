@@ -1,0 +1,161 @@
+// Tests of the performance-report layer: attribution buckets sum to 100%
+// on real mesh and estimator runs, the roofline verdict flips between
+// DMA-bound (small K) and compute-bound (large K), the JSON rendering is
+// well-formed and schema-stable, and degenerate samples never divide by
+// zero.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/gemm_runner.h"
+#include "json_checker_test_util.h"
+#include "runtime/executor.h"
+#include "support/perf_report.h"
+
+namespace sw {
+namespace {
+
+perf::MachineModel testMachine() {
+  return rt::machineModelFromArch(sunway::ArchConfig{});
+}
+
+TEST(MachineModel, RidgeDerivesFromArch) {
+  const sunway::ArchConfig arch;
+  const perf::MachineModel machine = rt::machineModelFromArch(arch);
+  EXPECT_NEAR(machine.peakGflops,
+              arch.peakFlops() * arch.asmKernelEfficiency / 1e9, 1e-9);
+  EXPECT_NEAR(machine.peakDmaGBps, arch.ddrBandwidthBytesPerSec / 1e9, 1e-9);
+  EXPECT_EQ(machine.meshSize, arch.meshSize());
+  EXPECT_NEAR(machine.ridgeFlopsPerByte(),
+              machine.peakGflops / machine.peakDmaGBps, 1e-9);
+}
+
+TEST(PerfReport, AttributionSumsTo100OnHandMadeSample) {
+  perf::RunSample sample;
+  sample.kernel = "t";
+  sample.engine = "estimator";
+  sample.wallSeconds = 10.0;
+  sample.cpeCount = 1;
+  sample.computeSeconds = 4.0;
+  sample.dmaStallSeconds = 2.0;
+  sample.rmaStallSeconds = 1.0;
+  sample.syncStallSeconds = 0.5;
+  sample.retryStallSeconds = 0.5;
+  const perf::PerfReport report = perf::buildPerfReport(sample, testMachine());
+  EXPECT_NEAR(report.attribution.computePct, 40.0, 1e-9);
+  EXPECT_NEAR(report.attribution.exposedDmaPct, 20.0, 1e-9);
+  EXPECT_NEAR(report.attribution.exposedRmaPct, 10.0, 1e-9);
+  EXPECT_NEAR(report.attribution.syncPct, 5.0, 1e-9);
+  EXPECT_NEAR(report.attribution.retryPct, 5.0, 1e-9);
+  EXPECT_NEAR(report.attribution.otherPct, 20.0, 1e-9);
+  EXPECT_NEAR(report.attribution.sum(), 100.0, 1e-9);
+  EXPECT_EQ(report.bottleneck.name, "compute");
+  EXPECT_NE(report.bottleneck.evidence.find("%"), std::string::npos);
+}
+
+TEST(PerfReport, DegenerateSampleIsAllZeroNeverNaN) {
+  const perf::RunSample empty;  // zero wall time, zero counters
+  const perf::PerfReport report = perf::buildPerfReport(empty, testMachine());
+  EXPECT_EQ(report.attribution.sum(), 0.0);
+  EXPECT_EQ(report.roofline.achievedGflops, 0.0);
+  EXPECT_EQ(report.roofline.arithmeticIntensity, 0.0);
+  EXPECT_EQ(report.roofline.ceilingUtilization, 0.0);
+  EXPECT_EQ(report.roofline.verdict, "latency-bound");
+  // Every rendered number must be parseable (no nan/inf tokens).
+  EXPECT_TRUE(testutil::JsonChecker(report.toJson()).valid());
+}
+
+TEST(PerfReport, EstimatorRunBucketsSumTo100) {
+  core::SwGemmCompiler compiler;
+  const core::CompiledKernel kernel = compiler.compile(core::CodegenOptions{});
+  const rt::RunOutcome outcome = core::estimateGemm(
+      kernel, compiler.arch(), core::GemmProblem{1024, 1024, 1024, 1});
+  EXPECT_EQ(outcome.report.engine, "estimator");
+  EXPECT_EQ(outcome.report.kernel, kernel.program.name);
+  EXPECT_EQ(outcome.report.m, 1024);
+  EXPECT_NEAR(outcome.report.attribution.sum(), 100.0, 0.1);
+  EXPECT_GT(outcome.report.attribution.computePct, 0.0);
+  EXPECT_NEAR(outcome.report.roofline.achievedGflops, outcome.gflops, 1e-6);
+}
+
+TEST(PerfReport, MeshRunBucketsSumTo100) {
+  core::SwGemmCompiler compiler;
+  const core::CompiledKernel kernel = compiler.compile(core::CodegenOptions{});
+  const core::PaddedShape padded =
+      core::padShape(1, 1, 1, kernel.options, compiler.arch());
+  const std::int64_t m = padded.m, n = padded.n, k = 2 * padded.k;
+  std::vector<double> a(static_cast<std::size_t>(m * k), 0.5);
+  std::vector<double> b(static_cast<std::size_t>(k * n), 0.25);
+  std::vector<double> c(static_cast<std::size_t>(m * n), 0.0);
+  const rt::RunOutcome outcome = core::runGemmFunctional(
+      kernel, compiler.arch(), core::GemmProblem{m, n, k, 1}, a, b, c);
+  EXPECT_EQ(outcome.report.engine, "mesh");
+  EXPECT_NEAR(outcome.report.attribution.sum(), 100.0, 0.1);
+  EXPECT_GT(outcome.report.attribution.computePct, 0.0);
+  EXPECT_GT(outcome.report.wallSeconds, 0.0);
+}
+
+TEST(PerfReport, VerdictFlipsWithArithmeticIntensity) {
+  core::SwGemmCompiler compiler;
+  const core::CompiledKernel kernel = compiler.compile(core::CodegenOptions{});
+
+  // Small K: every C tile is amortised over few flops, the DMA roof sits
+  // below the compute peak -> dma-bound.
+  const rt::RunOutcome smallK = core::estimateGemm(
+      kernel, compiler.arch(), core::GemmProblem{4096, 4096, 256, 1});
+  EXPECT_LT(smallK.report.roofline.arithmeticIntensity,
+            smallK.report.roofline.ridgeFlopsPerByte);
+  EXPECT_EQ(smallK.report.roofline.verdict, "dma-bound");
+
+  // Large K: arithmetic intensity beyond the ridge -> compute-bound.
+  const rt::RunOutcome largeK = core::estimateGemm(
+      kernel, compiler.arch(), core::GemmProblem{4096, 4096, 16384, 1});
+  EXPECT_GT(largeK.report.roofline.arithmeticIntensity,
+            largeK.report.roofline.ridgeFlopsPerByte);
+  EXPECT_EQ(largeK.report.roofline.verdict, "compute-bound");
+
+  // Without latency hiding the same large-K shape leaves the ceilings
+  // unexplained: exposed stalls dominate -> latency-bound.
+  core::CodegenOptions exposed;
+  exposed.hideLatency = false;
+  const rt::RunOutcome stalled = core::estimateGemm(
+      compiler.compile(exposed), compiler.arch(),
+      core::GemmProblem{4096, 4096, 4096, 1});
+  EXPECT_EQ(stalled.report.roofline.verdict, "latency-bound");
+  EXPECT_LT(stalled.report.roofline.ceilingUtilization,
+            perf::kCeilingExplainsThreshold);
+}
+
+TEST(PerfReport, JsonIsWellFormedAndSchemaStable) {
+  core::SwGemmCompiler compiler;
+  const core::CompiledKernel kernel = compiler.compile(core::CodegenOptions{});
+  const rt::RunOutcome outcome = core::estimateGemm(
+      kernel, compiler.arch(), core::GemmProblem{1024, 1024, 8192, 1});
+  const std::string json = outcome.report.toJson();
+  EXPECT_TRUE(testutil::JsonChecker(json).valid()) << json;
+  // schema_version leads the object so downstream parsers can dispatch.
+  EXPECT_EQ(json.rfind("{\"schema_version\":1,", 0), 0u) << json;
+  for (const char* key :
+       {"\"attribution\":", "\"roofline\":", "\"bottleneck\":",
+        "\"counters\":", "\"compute_pct\":", "\"achieved_gflops\":",
+        "\"verdict\":", "\"dma_messages\":", "\"wall_seconds\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  EXPECT_EQ(outcome.report.schemaVersion, perf::kPerfReportSchemaVersion);
+}
+
+TEST(PerfReport, TextRenderingNamesTheBottleneck) {
+  core::SwGemmCompiler compiler;
+  const core::CompiledKernel kernel = compiler.compile(core::CodegenOptions{});
+  const rt::RunOutcome outcome = core::estimateGemm(
+      kernel, compiler.arch(), core::GemmProblem{1024, 1024, 1024, 1});
+  const std::string text = outcome.report.toText();
+  EXPECT_NE(text.find("time attribution"), std::string::npos);
+  EXPECT_NE(text.find("roofline:"), std::string::npos);
+  EXPECT_NE(text.find("top bottleneck:"), std::string::npos);
+  EXPECT_NE(text.find(outcome.report.roofline.verdict), std::string::npos);
+  EXPECT_NE(text.find(outcome.report.bottleneck.name), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sw

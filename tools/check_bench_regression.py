@@ -13,11 +13,19 @@ with the host, so the guard also checks a host-invariant ratio: every
 sibling by at least --min-speedup (default 3.0 for timing benchmarks,
 disabled when no sibling pair exists).
 
+With --reports DIR and --trajectory FILE the guard additionally checks the
+per-case PerfReport GFLOPS (written by the bench binaries under
+$SWBENCH_REPORT_DIR) against the latest trajectory entry: simulated GFLOPS
+come from the timing model, not the wall clock, so they are host-invariant
+and guarded with the tight --gflops-threshold (default 2%% drop).  Cases
+without a trajectory entry are reported but never fatal.
+
 Exit code 0 = clean, 1 = regression, 2 = bad invocation/input.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -52,6 +60,62 @@ def sibling_pairs(benchmarks):
     return pairs
 
 
+def check_report_gflops(reports_dir, trajectory_path, threshold, failures):
+    """Guard per-case PerfReport GFLOPS against the latest trajectory entry."""
+    try:
+        with open(trajectory_path, "r", encoding="utf-8") as fh:
+            trajectory = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read trajectory '{trajectory_path}': {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    entries = trajectory.get("entries", [])
+    if not entries:
+        print("note: trajectory has no entries yet; report GFLOPS "
+              "unguarded this run")
+        return
+    baseline_cases = entries[-1].get("cases", {})
+
+    if not os.path.isdir(reports_dir):
+        print(f"error: --reports '{reports_dir}' is not a directory",
+              file=sys.stderr)
+        sys.exit(2)
+    seen = 0
+    for name in sorted(os.listdir(reports_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(reports_dir, name)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                report = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: cannot read report '{path}': {err}",
+                  file=sys.stderr)
+            sys.exit(2)
+        case = name[: -len(".json")]
+        gflops = report.get("roofline", {}).get("achieved_gflops")
+        if gflops is None:
+            failures.append(f"report '{path}' has no "
+                            f"roofline.achieved_gflops")
+            continue
+        seen += 1
+        base = baseline_cases.get(case, {}).get("gflops")
+        if not base:
+            print(f"     note  {case}: no trajectory baseline (new case)")
+            continue
+        floor = base * (1.0 - threshold)
+        status = "ok" if gflops >= floor else "REGRESSED"
+        print(f"{status:>9}  {case}: {gflops:.2f} GFLOPS vs trajectory "
+              f"{base:.2f} ({gflops / base:.3f}x)")
+        if gflops < floor:
+            failures.append(
+                f"'{case}' report GFLOPS regressed: {gflops:.2f} < "
+                f"{floor:.2f} (trajectory {base:.2f}, threshold "
+                f"{threshold:.0%})")
+    if seen == 0:
+        failures.append(f"no *.json reports found in '{reports_dir}'")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -63,6 +127,16 @@ def main():
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="required plan-vs-tree-walk ratio for "
                              "'timing' benchmark pairs")
+    parser.add_argument("--reports",
+                        help="directory of per-case PerfReport JSONs to "
+                             "guard against the trajectory")
+    parser.add_argument("--trajectory",
+                        default="bench/baselines/BENCH_trajectory.json",
+                        help="trajectory file whose latest entry is the "
+                             "report-GFLOPS baseline")
+    parser.add_argument("--gflops-threshold", type=float, default=0.02,
+                        help="allowed fractional report-GFLOPS drop vs "
+                             "the trajectory (simulated, host-invariant)")
     args = parser.parse_args()
 
     baseline = load_benchmarks(args.baseline)
@@ -114,6 +188,11 @@ def main():
             failures.append(
                 f"'{prefix}': plan is only {speedup:.2f}x faster than the "
                 f"tree-walk (required {required:.2f}x)")
+
+    if args.reports:
+        print()
+        check_report_gflops(args.reports, args.trajectory,
+                            args.gflops_threshold, failures)
 
     if failures:
         print("\nbenchmark regression check FAILED:", file=sys.stderr)

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Append a benchmark run's PerfReport JSONs to the performance trajectory.
+
+Usage:
+  perf_trajectory.py --reports DIR \
+      [--trajectory bench/baselines/BENCH_trajectory.json] \
+      [--label TEXT] [--dry-run]
+
+DIR holds the per-case report files the bench binaries write when
+$SWBENCH_REPORT_DIR is set (one `<case>.json` PerfReport each, see
+src/support/perf_report.h).  The trajectory file is an append-only list of
+entries, one per recorded run:
+
+  {"schema_version": 1,
+   "entries": [{"label": ..., "cases": {case: {summary fields}}}, ...]}
+
+Simulated GFLOPS are host-invariant (they come from the timing model, not
+the wall clock), so consecutive entries are directly comparable; the
+script prints a delta table against the previous entry and exits 0.  A
+report with an unexpected schema_version is fatal (exit 2): the trajectory
+must never silently mix schemas.
+
+Exit code 0 = appended (or --dry-run), 2 = bad invocation/input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TRAJECTORY_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 1
+
+
+def fail(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_reports(reports_dir):
+    if not os.path.isdir(reports_dir):
+        fail(f"--reports '{reports_dir}' is not a directory")
+    cases = {}
+    for name in sorted(os.listdir(reports_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(reports_dir, name)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                report = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            fail(f"cannot read report '{path}': {err}")
+        version = report.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            fail(f"report '{path}' has schema_version {version}, "
+                 f"expected {REPORT_SCHEMA_VERSION}")
+        roofline = report.get("roofline", {})
+        attribution = report.get("attribution", {})
+        cases[name[: -len(".json")]] = {
+            "kernel": report.get("kernel"),
+            "engine": report.get("engine"),
+            "gflops": roofline.get("achieved_gflops"),
+            "ceiling_utilization": roofline.get("ceiling_utilization"),
+            "verdict": roofline.get("verdict"),
+            "compute_pct": attribution.get("compute_pct"),
+            "exposed_dma_pct": attribution.get("exposed_dma_pct"),
+            "bottleneck": report.get("bottleneck", {}).get("name"),
+        }
+    if not cases:
+        fail(f"no *.json reports found in '{reports_dir}'")
+    return cases
+
+
+def load_trajectory(path):
+    if not os.path.exists(path):
+        return {"schema_version": TRAJECTORY_SCHEMA_VERSION, "entries": []}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            trajectory = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read trajectory '{path}': {err}")
+    if trajectory.get("schema_version") != TRAJECTORY_SCHEMA_VERSION:
+        fail(f"trajectory '{path}' has schema_version "
+             f"{trajectory.get('schema_version')}, expected "
+             f"{TRAJECTORY_SCHEMA_VERSION}")
+    if not isinstance(trajectory.get("entries"), list):
+        fail(f"trajectory '{path}' has no 'entries' list")
+    return trajectory
+
+
+def print_delta_table(previous, cases):
+    print(f"{'case':<44} {'prev':>10} {'now':>10} {'delta':>8}  verdict")
+    for case in sorted(cases):
+        now = cases[case]
+        gflops = now.get("gflops")
+        prev = (previous or {}).get("cases", {}).get(case)
+        if prev is None or not prev.get("gflops"):
+            prev_text, delta_text = "-", "new"
+        else:
+            prev_gflops = prev["gflops"]
+            prev_text = f"{prev_gflops:.2f}"
+            delta_text = f"{100.0 * (gflops / prev_gflops - 1.0):+.1f}%"
+        print(f"{case:<44} {prev_text:>10} {gflops:>10.2f} {delta_text:>8}"
+              f"  {now.get('verdict')}")
+    for case in sorted((previous or {}).get("cases", {})):
+        if case not in cases:
+            print(f"note: case '{case}' present in the previous entry but "
+                  f"not in this run")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--reports", required=True,
+                        help="directory of per-case PerfReport JSONs")
+    parser.add_argument("--trajectory",
+                        default="bench/baselines/BENCH_trajectory.json")
+    parser.add_argument("--label", default="",
+                        help="entry label (e.g. a git revision); defaults "
+                             "to $GITHUB_SHA or 'local'")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the delta table without appending")
+    args = parser.parse_args()
+
+    cases = load_reports(args.reports)
+    trajectory = load_trajectory(args.trajectory)
+    previous = trajectory["entries"][-1] if trajectory["entries"] else None
+
+    label = args.label or os.environ.get("GITHUB_SHA", "")[:12] or "local"
+    entry = {"label": label, "cases": cases}
+
+    print(f"trajectory '{args.trajectory}': "
+          f"{len(trajectory['entries'])} entries, appending "
+          f"'{label}' with {len(cases)} cases\n")
+    print_delta_table(previous, cases)
+
+    if args.dry_run:
+        print("\n--dry-run: trajectory not modified")
+        return 0
+
+    trajectory["entries"].append(entry)
+    parent = os.path.dirname(args.trajectory)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp_path = args.trajectory + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp_path, args.trajectory)
+    print(f"\nappended entry '{label}' "
+          f"({len(trajectory['entries'])} total)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@
 #include "sunway/mesh.h"
 #include "support/digest.h"
 #include "support/error.h"
+#include "support/histogram.h"
 #include "support/logging.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -64,8 +65,17 @@ void usage(std::FILE* out) {
       "                     mesh simulator with random data; with edge\n"
       "                     tiles the result is verified bit-for-bit\n"
       "                     against the padded reference run\n"
-      "  --profile          print a per-stage compile breakdown and the\n"
-      "                     derived run metrics (overlap%%, stall%%, SPM)\n"
+      "  --profile          print a per-stage compile breakdown, the\n"
+      "                     derived run metrics (overlap%%, stall%%, SPM),\n"
+      "                     the grouped metrics-registry table and the\n"
+      "                     latency-histogram percentiles\n"
+      "  --report MODE [PATH]\n"
+      "                     emit the run's performance report (time\n"
+      "                     attribution, roofline position, top\n"
+      "                     bottleneck).  MODE is text or json; PATH (must\n"
+      "                     not end in .c) selects a file, default stdout.\n"
+      "                     Uses the --run outcome when present, else the\n"
+      "                     --estimate shape, else a 1024^3 estimate\n"
       "  --trace OUT.json   write a Chrome trace-event file (open in\n"
       "                     https://ui.perfetto.dev): compile spans plus\n"
       "                     per-CPE simulated-clock timelines\n"
@@ -129,7 +139,8 @@ std::vector<double> randomMatrix(std::int64_t count, unsigned seed) {
 int runShapeSmoke(const sw::core::CompiledKernel& kernel,
                   const sw::sunway::ArchConfig& arch,
                   const std::vector<long>& shape,
-                  sw::core::PadMode padMode) {
+                  sw::core::PadMode padMode,
+                  sw::rt::RunOutcome* outcomeOut) {
   const std::int64_t m = shape[0], n = shape[1], k = shape[2];
   const std::int64_t batch = shape.size() == 4 ? shape[3] : 1;
   const bool tA = kernel.options.transposeA;
@@ -146,6 +157,7 @@ int runShapeSmoke(const sw::core::CompiledKernel& kernel,
   std::vector<double> c = c0;
   const sw::rt::RunOutcome outcome =
       sw::core::runGemmFunctional(kernel, arch, problem, a, b, c, runConfig);
+  if (outcomeOut != nullptr) *outcomeOut = outcome;
   const bool ranEdge = kernel.options.edgeTiles &&
                        padMode != sw::core::PadMode::kPadded;
   std::printf("ran %lldx%lldx%lld batch %lld (%s): %.2f GFLOPS modelled, "
@@ -407,6 +419,8 @@ int main(int argc, char** argv) {
   std::string warmShapes;
   std::string batchManifestPath;
   std::string injectSpec;
+  std::string reportMode;  // "", "text" or "json"
+  std::string reportPath;  // empty = stdout
   double watchdogMillis = -1.0;  // negative = library default
   long jobs = 0;
   bool dumpSchedule = false;
@@ -442,6 +456,23 @@ int main(int argc, char** argv) {
       dumpSchedule = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--report") {
+      if (i + 1 >= argc || (std::string(argv[i + 1]) != "text" &&
+                            std::string(argv[i + 1]) != "json")) {
+        std::fprintf(stderr,
+                     "swcodegen: --report requires a mode, text or json\n");
+        return 2;
+      }
+      reportMode = argv[++i];
+      // An optional output path follows; the INPUT.c positional may sit
+      // there too, so a token ending in .c is left for the input parser.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        const std::string candidate = argv[i + 1];
+        const bool looksLikeInput =
+            candidate.size() >= 2 &&
+            candidate.compare(candidate.size() - 2, 2, ".c") == 0;
+        if (!looksLikeInput) reportPath = argv[++i];
+      }
     } else if (arg == "--trace") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "swcodegen: --trace requires an output path\n");
@@ -568,6 +599,12 @@ int main(int argc, char** argv) {
     usage(stderr);
     return 2;
   }
+  if (!reportMode.empty() && batchMode) {
+    std::fprintf(stderr,
+                 "swcodegen: --report describes a single kernel's run and "
+                 "needs an INPUT.c compile, not --warm/--serve-batch\n");
+    return 2;
+  }
 
   // Bad invocations exit 2 before any compilation work: an unparsable fault
   // plan, --inject without a compile, or an unreadable input file.
@@ -641,11 +678,12 @@ int main(int argc, char** argv) {
     }
 
     const sw::core::SwGemmCompiler compiler;  // estimate/smoke share arch
+    // Every single-kernel compile is served through the kernel service so
+    // the request latency histogram and the service gauges cover the CLI
+    // path too; without --cache-dir the service simply has no disk tier.
     sw::service::ServeOutcome outcome = sw::service::ServeOutcome::kCompiled;
     sw::core::CompiledKernel kernel =
-        cacheDir.empty()
-            ? compiler.compileSource(readFile(inputPath), options)
-            : service.compileSource(readFile(inputPath), options, &outcome);
+        service.compileSource(readFile(inputPath), options, &outcome);
     if (outcome == sw::service::ServeOutcome::kMemoryHit ||
         outcome == sw::service::ServeOutcome::kDiskHit) {
       std::printf("cache hit (%s): pipeline not re-run, kernel served "
@@ -691,8 +729,10 @@ int main(int argc, char** argv) {
     }
 
     int runRc = 0;
+    sw::rt::RunOutcome runOutcome;
     if (!runShape.empty())
-      runRc = runShapeSmoke(kernel, compiler.arch(), runShape, padMode);
+      runRc = runShapeSmoke(kernel, compiler.arch(), runShape, padMode,
+                            &runOutcome);
 
     // A functional mesh run lights up the 64 per-CPE trace lanes and the
     // threaded-runtime metrics.
@@ -714,11 +754,43 @@ int main(int argc, char** argv) {
       if (wantSmoke)
         printRunMetrics("functional mesh smoke run (one mesh tile, 64 CPEs)",
                         smoke, compiler.arch());
-      std::printf("metrics registry:\n");
-      for (const auto& [name, value] :
-           sw::metrics::MetricsRegistry::global().snapshot())
-        std::printf("  %-44s %g\n", name.c_str(), value);
+      std::printf("metrics registry:\n%s",
+                  sw::metrics::formatMetricsTable(
+                      sw::metrics::MetricsRegistry::global().snapshot())
+                      .c_str());
+      const std::map<std::string, sw::metrics::Histogram> histograms =
+          sw::metrics::HistogramRegistry::global().snapshot();
+      if (!histograms.empty()) {
+        std::printf("\nlatency histograms:\n%s",
+                    sw::metrics::formatHistogramTable(histograms, "ms")
+                        .c_str());
+      }
       std::printf("\n");
+    }
+
+    if (!reportMode.empty()) {
+      // Report the most faithful run available: a functional mesh run
+      // beats an estimate beats the default-shape estimate.
+      sw::rt::RunOutcome reported;
+      if (!runShape.empty()) {
+        reported = runOutcome;
+      } else if (!estimate.empty()) {
+        reported = estimated;
+      } else {
+        const std::int64_t batch = kernel.options.batched ? 2 : 1;
+        reported = sw::core::estimateGemm(kernel, compiler.arch(),
+                                          {1024, 1024, 1024, batch});
+      }
+      const std::string body = reportMode == "json"
+                                   ? reported.report.toJson() + "\n"
+                                   : reported.report.toText();
+      if (reportPath.empty()) {
+        std::printf("%s", body.c_str());
+      } else {
+        writeFile(reportPath, body);
+        std::printf("wrote %s report to %s\n", reportMode.c_str(),
+                    reportPath.c_str());
+      }
     }
 
     if (tracePath.empty()) {
