@@ -41,6 +41,15 @@ double nowSeconds() {
       .count();
 }
 
+/// Where the tuning database lives: an explicit tuningDir wins, else the
+/// issue's `<cacheDir>/tune` layout, else nowhere (no persistence).
+std::string effectiveTuningDir(const KernelServiceConfig& config) {
+  if (!config.tuningDir.empty()) return config.tuningDir;
+  if (!config.cacheDir.empty())
+    return (fs::path(config.cacheDir) / "tune").string();
+  return {};
+}
+
 /// Record one request latency into the named histogram, refresh the
 /// percentile gauges, and return the histogram bucket label so the span
 /// can carry it (coarse timing survives even when the raw trace is off).
@@ -76,7 +85,8 @@ KernelService::KernelService(CompileFn compileFn, sunway::ArchConfig arch,
                              KernelServiceConfig config)
     : compileFn_(std::move(compileFn)),
       arch_(arch),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      tuningDb_(effectiveTuningDir(config_)) {}
 
 KernelService::KernelPtr KernelService::compile(
     const core::CodegenOptions& options) {
@@ -363,6 +373,9 @@ std::vector<KernelService::BatchResult> KernelService::compileBatch(
 }
 
 KernelServiceStats KernelService::stats() const {
+  // The tune counters are guarded by tuneMutex_, the rest by mutex_;
+  // lock order everywhere is tuneMutex_ before mutex_.
+  std::lock_guard<std::mutex> tuneLock(tuneMutex_);
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
 }
@@ -502,6 +515,155 @@ KernelService::ResilientRunResult KernelService::runResilient(
       "latency_bucket",
       recordLatency("service.run_latency", nowSeconds() - start)));
   return result;
+}
+
+// --- schedule autotuning ------------------------------------------------
+
+void KernelService::setSearchFnForTest(SearchFn searchFn) {
+  searchFn_ = std::move(searchFn);
+}
+
+std::string KernelService::tuningDbPath(const std::string& tuneKey) const {
+  return tuningDb_.pathForKey(tuneKey);
+}
+
+void KernelService::publishTunerGaugesLocked() const {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::global();
+  registry.set("tuner.searches", static_cast<double>(stats_.tuneSearches));
+  registry.set("tuner.db_hits", static_cast<double>(stats_.tuneDbHits));
+  registry.set("tuner.shared", static_cast<double>(stats_.tuneShared));
+  const tuning::TuningDbStats& db = tuningDb_.stats();
+  registry.set("tuner.db_misses", static_cast<double>(db.misses));
+  registry.set("tuner.db_corrupt", static_cast<double>(db.corrupt));
+  registry.set("tuner.db_stale", static_cast<double>(db.stale));
+  registry.set("tuner.db_stores", static_cast<double>(db.stores));
+}
+
+tuning::TunedScheduleRecord KernelService::produceSchedule(
+    const std::string& tuneKey, const core::CodegenOptions& base,
+    const core::GemmProblem& problem, bool* fromDisk) {
+  {
+    // TuningDb is not internally locked; tuneMutex_ serializes its file
+    // and counter traffic (the lookup/store calls are short — the search
+    // itself runs unlocked below).
+    std::lock_guard<std::mutex> lock(tuneMutex_);
+    if (std::optional<tuning::TunedScheduleRecord> cached =
+            tuningDb_.lookup(tuneKey)) {
+      *fromDisk = true;
+      ++stats_.tuneDbHits;
+      SW_INFO("service", "event=tune_db_hit schedule=",
+              cached->schedule.label(), " gflops=", cached->gflops,
+              " path=", tuningDb_.pathForKey(tuneKey));
+      return *cached;
+    }
+  }
+
+  *fromDisk = false;
+  SearchFn search = searchFn_;
+  if (!search) {
+    search = [](const core::CodegenOptions& b, const sunway::ArchConfig& a,
+                const core::GemmProblem& p, const tuning::TunerConfig& c) {
+      return tuning::searchSchedules(b, a, p, c);
+    };
+  }
+  const tuning::ScheduleSearchResult result =
+      search(base, arch_, problem, config_.tuner);
+  const tuning::CandidateResult& best = result.best();
+
+  tuning::TunedScheduleRecord record;
+  record.schedule = best.candidate;
+  // The DB keeps the GFLOPS figure the search actually decided by: the
+  // mesh measurement when validation ran at the full problem shape, the
+  // stage-1 estimate otherwise.
+  record.gflops = (result.validationAtFullShape && best.validated)
+                      ? best.measuredGflops
+                      : best.estimatedGflops;
+  record.measuredGflops = best.validated ? best.measuredGflops : 0.0;
+  record.verdict = best.report.roofline.verdict;
+  record.candidatesEnumerated = static_cast<int>(result.candidates().size());
+  record.candidatesFeasible = result.feasibleCount();
+  record.candidatesValidated = result.validatedCount();
+  record.searchSeconds = result.searchSeconds;
+
+  {
+    std::lock_guard<std::mutex> lock(tuneMutex_);
+    tuningDb_.store(tuneKey, record);
+    ++stats_.tuneSearches;
+  }
+  SW_INFO("service", "event=tune_search_done schedule=",
+          record.schedule.label(), " gflops=", record.gflops,
+          " candidates=", record.candidatesEnumerated,
+          " feasible=", record.candidatesFeasible,
+          " validated=", record.candidatesValidated,
+          " seconds=", record.searchSeconds);
+  return record;
+}
+
+KernelService::ResolvedSchedule KernelService::resolveSchedule(
+    const core::CodegenOptions& base, const core::GemmProblem& problem) {
+  const std::string tuneKey = tuning::canonicalTuneKey(base, arch_, problem);
+  trace::Span span("tuner.resolve",
+                   {trace::arg("key", digestHex(fnv1a64(tuneKey))),
+                    trace::arg("m", problem.m), trace::arg("n", problem.n),
+                    trace::arg("k", problem.k)},
+                   "tuner");
+  const double start = nowSeconds();
+
+  auto finish = [&](tuning::TunedScheduleRecord record,
+                    ResolvedSchedule::Source source, const char* outcome) {
+    span.addArg(trace::arg("outcome", outcome));
+    span.addArg(trace::arg("schedule", record.schedule.label()));
+    span.addArg(trace::arg(
+        "latency_bucket",
+        recordLatency("tuner.resolve_latency", nowSeconds() - start)));
+    ResolvedSchedule resolved;
+    resolved.options = record.schedule.apply(base);
+    resolved.record = std::move(record);
+    resolved.source = source;
+    return resolved;
+  };
+
+  std::promise<tuning::TunedScheduleRecord> promise;
+  {
+    std::unique_lock<std::mutex> lock(tuneMutex_);
+    if (auto it = tuneInflight_.find(tuneKey); it != tuneInflight_.end()) {
+      std::shared_future<tuning::TunedScheduleRecord> future = it->second;
+      lock.unlock();
+      // Rethrows the leader's failure, if any.
+      tuning::TunedScheduleRecord record = future.get();
+      {
+        std::lock_guard<std::mutex> relock(tuneMutex_);
+        ++stats_.tuneShared;
+        publishTunerGaugesLocked();
+      }
+      return finish(std::move(record), ResolvedSchedule::Source::kShared,
+                    "shared");
+    }
+    tuneInflight_.emplace(tuneKey, promise.get_future().share());
+  }
+
+  // Leader path: this thread owns the (single) search for the key.
+  bool fromDisk = false;
+  try {
+    tuning::TunedScheduleRecord record =
+        produceSchedule(tuneKey, base, problem, &fromDisk);
+    promise.set_value(record);
+    {
+      std::lock_guard<std::mutex> lock(tuneMutex_);
+      tuneInflight_.erase(tuneKey);
+      publishTunerGaugesLocked();
+    }
+    return finish(std::move(record),
+                  fromDisk ? ResolvedSchedule::Source::kDiskHit
+                           : ResolvedSchedule::Source::kSearch,
+                  fromDisk ? "db_hit" : "search");
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(tuneMutex_);
+    tuneInflight_.erase(tuneKey);
+    publishTunerGaugesLocked();
+    throw;
+  }
 }
 
 // --- manifest parsing ---------------------------------------------------

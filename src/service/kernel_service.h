@@ -37,6 +37,8 @@
 
 #include "core/compiler.h"
 #include "core/gemm_runner.h"
+#include "tuning/tuner.h"
+#include "tuning/tuning_db.h"
 
 namespace sw::service {
 
@@ -54,6 +56,15 @@ struct KernelServiceConfig {
 
   /// Worker threads for compileBatch; 0 picks hardware_concurrency.
   int threads = 0;
+
+  /// Persistent tuning database root for resolveSchedule; empty falls
+  /// back to `<cacheDir>/tune` (the issue's layout), or disables
+  /// persistence when there is no cacheDir either.  Records live under
+  /// `<dir>/v<tuning-db-version>/<tune-key-digest>.json`.
+  std::string tuningDir;
+
+  /// Search configuration resolveSchedule hands the two-stage driver.
+  tuning::TunerConfig tuner;
 };
 
 /// How a request was served; surfaced per request by compileBatch and in
@@ -77,6 +88,12 @@ struct KernelServiceStats {
   std::int64_t corruptDiskEntries = 0;
   std::size_t entries = 0;          // current LRU size
   std::int64_t bytes = 0;           // current LRU serialized bytes
+
+  // resolveSchedule traffic: full searches run, tuning-DB disk hits, and
+  // joiners that shared an in-flight search of the same key.
+  std::int64_t tuneSearches = 0;
+  std::int64_t tuneDbHits = 0;
+  std::int64_t tuneShared = 0;
 
   /// Requests served without a pipeline run / all requests, in [0,1].
   [[nodiscard]] double hitRate() const {
@@ -181,6 +198,45 @@ class KernelService {
   /// per rung without building real fault plans).
   void setRunFnForTest(RunFn runFn);
 
+  // --- schedule autotuning ----------------------------------------------
+
+  /// A tuned schedule decision for one (base options, problem) request.
+  struct ResolvedSchedule {
+    /// Where the schedule came from.
+    enum class Source {
+      kSearch,   // ran the two-stage search (and persisted the winner)
+      kDiskHit,  // served from the tuning database
+      kShared,   // joined an in-flight search of the same key
+    };
+    /// The base options overlaid with the winning schedule — what the
+    /// caller should compile.
+    core::CodegenOptions options;
+    tuning::TunedScheduleRecord record;
+    Source source = Source::kSearch;
+  };
+
+  /// Resolve the schedule to compile for `base` at `problem`: consult the
+  /// tuning database first, run the two-stage search on a miss, and
+  /// persist the winner.  Thread-safe with single-flight semantics —
+  /// concurrent calls for the same tune key trigger exactly one search,
+  /// the rest share its record.  Search failures (e.g. nothing feasible)
+  /// propagate to every waiter.  Emits "tuner.resolve" spans and
+  /// `tuner.*` gauges.
+  ResolvedSchedule resolveSchedule(const core::CodegenOptions& base,
+                                   const core::GemmProblem& problem);
+
+  /// Test seam for resolveSchedule's search step: tests substitute a
+  /// counting stub to observe how many searches the DB + single-flight
+  /// actually let through.
+  using SearchFn = std::function<tuning::ScheduleSearchResult(
+      const core::CodegenOptions&, const sunway::ArchConfig&,
+      const core::GemmProblem&, const tuning::TunerConfig&)>;
+  void setSearchFnForTest(SearchFn searchFn);
+
+  /// Absolute path a tune key's DB record would live at; empty when the
+  /// service has neither a tuningDir nor a cacheDir.
+  [[nodiscard]] std::string tuningDbPath(const std::string& tuneKey) const;
+
   [[nodiscard]] KernelServiceStats stats() const;
 
   /// Drop the in-memory tier (the disk tier is untouched).
@@ -213,8 +269,15 @@ class KernelService {
   KernelPtr tryLoadFromDisk(const std::string& key, std::int64_t* bytes);
   void storeToDisk(const std::string& key, const std::string& serialized);
 
+  /// Leader path of resolveSchedule: DB lookup, search, store.
+  tuning::TunedScheduleRecord produceSchedule(
+      const std::string& tuneKey, const core::CodegenOptions& base,
+      const core::GemmProblem& problem, bool* fromDisk);
+  void publishTunerGaugesLocked() const;
+
   CompileFn compileFn_;
   RunFn runFn_;  // empty = core::runGemmFunctional against arch_
+  SearchFn searchFn_;  // empty = tuning::searchSchedules
   sunway::ArchConfig arch_;
   KernelServiceConfig config_;
 
@@ -223,6 +286,14 @@ class KernelService {
   std::unordered_map<std::string, LruList::iterator> index_;
   std::unordered_map<std::string, std::shared_future<KernelPtr>> inflight_;
   KernelServiceStats stats_;
+
+  /// Tuning tier: its own lock (searches are long; kernel serving must
+  /// not queue behind them), the single-flight map, and the disk DB.
+  mutable std::mutex tuneMutex_;
+  std::unordered_map<std::string,
+                     std::shared_future<tuning::TunedScheduleRecord>>
+      tuneInflight_;
+  tuning::TuningDb tuningDb_;
 };
 
 /// Parse one batch-manifest line into CodegenOptions.  Grammar (whitespace

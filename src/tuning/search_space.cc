@@ -1,0 +1,155 @@
+#include "tuning/search_space.h"
+
+#include <set>
+
+#include "core/pipeline.h"
+#include "support/format.h"
+
+namespace sw::tuning {
+
+core::CodegenOptions ScheduleCandidate::apply(core::CodegenOptions base) const {
+  base.tileM = tileM;
+  base.tileN = tileN;
+  base.tileK = tileK;
+  base.stripFactor = stripFactor;
+  base.edgeTiles = edgeTiles;
+  base.hideLatency = bufferDepth == 2;
+  return base;
+}
+
+std::string ScheduleCandidate::label() const {
+  return strCat(tileM, "x", tileN, "x", tileK, "/s", stripFactor, "/d",
+                bufferDepth, edgeTiles ? "/edge" : "/pad");
+}
+
+bool ScheduleCandidate::hasAsmKernel(const core::CodegenOptions& base) const {
+  // §7.2: the vendor assembly routine exists for exactly one shape.
+  return base.useAsm && tileM == 64 && tileN == 64 && tileK == 32;
+}
+
+std::int64_t spmBytesForOptions(const core::CodegenOptions& options) {
+  // Mirror of the pipeline's SpmBufferDecl construction: C (one phase),
+  // the DMA staging buffers at `dmaPhases` depth, their RMA mirrors when
+  // broadcasting, and the transpose scratch tiles.
+  const std::int64_t phases = options.hideLatency ? 2 : 1;
+  std::int64_t doubles = options.tileM * options.tileN;  // C
+  const std::int64_t operandTile =
+      options.tileM * options.tileK + options.tileK * options.tileN;
+  doubles += phases * operandTile;                       // A_dma + B_dma
+  if (options.useRma) doubles += phases * operandTile;   // A_rma + B_rma
+  if (options.transposeA) doubles += options.tileK * options.tileM;  // T_A
+  if (options.transposeB) doubles += options.tileN * options.tileK;  // T_B
+  return doubles * static_cast<std::int64_t>(sizeof(double));
+}
+
+bool shapeDivisible(const core::CodegenOptions& applied,
+                    const sunway::ArchConfig& arch,
+                    const core::GemmProblem& problem) {
+  // Divisible == padShape is the identity: the same rounding the padded
+  // host path applies, so edge clamps never bind exactly when this holds.
+  const core::PaddedShape padded =
+      core::padShape(problem.m, problem.n, problem.k, applied, arch);
+  return padded.m == problem.m && padded.n == problem.n &&
+         padded.k == problem.k;
+}
+
+namespace {
+
+/// Analytic verdict for one point; returns the fully-filled record.
+EnumeratedCandidate judge(const ScheduleCandidate& candidate,
+                          const core::CodegenOptions& base,
+                          const sunway::ArchConfig& arch) {
+  EnumeratedCandidate entry;
+  entry.candidate = candidate;
+  const core::CodegenOptions applied = candidate.apply(base);
+  entry.spmBytesNeeded = spmBytesForOptions(applied);
+  if (candidate.stripFactor != arch.meshRows) {
+    entry.pruneReason =
+        strCat("strip factor ", candidate.stripFactor,
+               " != mesh width ", arch.meshRows, " (§3.2)");
+    return entry;
+  }
+  if (candidate.bufferDepth == 2 && (!base.useRma || !base.hideLatency)) {
+    entry.pruneReason =
+        "double buffering needs the RMA pipeline (§6), which the base "
+        "options disable";
+    return entry;
+  }
+  if (entry.spmBytesNeeded > arch.spmBytes) {
+    entry.pruneReason = strCat(
+        "SPM working set ", entry.spmBytesNeeded, " bytes exceeds the SPM "
+        "budget of ", arch.spmBytes, " bytes at buffer depth ",
+        candidate.bufferDepth);
+    return entry;
+  }
+  entry.feasible = true;
+  return entry;
+}
+
+}  // namespace
+
+std::vector<EnumeratedCandidate> enumerateCandidates(
+    const core::CodegenOptions& base, const sunway::ArchConfig& arch,
+    const core::GemmProblem& problem, const SearchSpaceConfig& config) {
+  std::vector<EnumeratedCandidate> out;
+  std::set<std::string> seen;
+  auto push = [&](const ScheduleCandidate& candidate) {
+    if (!seen.insert(candidate.label()).second) return;
+    out.push_back(judge(candidate, base, arch));
+  };
+
+  // The analytic default always leads: the driver replaces it only on a
+  // strict simulated-GFLOPS improvement, so a search over a space where
+  // the paper's choice is optimal reports exactly the paper's choice.
+  ScheduleCandidate analytic;
+  analytic.tileM = base.tileM;
+  analytic.tileN = base.tileN;
+  analytic.tileK = base.tileK;
+  analytic.stripFactor = base.stripFactor;
+  analytic.bufferDepth = base.hideLatency ? 2 : 1;
+  analytic.edgeTiles = base.edgeTiles;
+  push(analytic);
+
+  // MN grid: every square point plus (when enabled) its 2:1 rectangular
+  // neighbours that are themselves grid values.
+  std::vector<std::pair<std::int64_t, std::int64_t>> mnPairs;
+  std::set<std::int64_t> mnValues(config.tileMN.begin(), config.tileMN.end());
+  for (const std::int64_t v : config.tileMN) {
+    mnPairs.emplace_back(v, v);
+    if (config.rectangularTiles && mnValues.count(2 * v) != 0) {
+      mnPairs.emplace_back(v, 2 * v);
+      mnPairs.emplace_back(2 * v, v);
+    }
+  }
+
+  for (const auto& [tm, tn] : mnPairs) {
+    for (const std::int64_t tk : config.tileK) {
+      for (const std::int64_t strip : config.stripFactors) {
+        const bool stripValid = strip == arch.meshRows;
+        for (const int depth : config.bufferDepths) {
+          // Invalid strip factors are structurally infeasible whatever the
+          // depth/edge variant; record the §3.2 prune once per tile point
+          // instead of fanning it across the other axes.
+          if (!stripValid && depth != config.bufferDepths.front()) break;
+          ScheduleCandidate candidate;
+          candidate.tileM = tm;
+          candidate.tileN = tn;
+          candidate.tileK = tk;
+          candidate.stripFactor = strip;
+          candidate.bufferDepth = depth;
+          candidate.edgeTiles = false;
+          push(candidate);
+          if (!stripValid) break;
+          if (config.edgeCandidates &&
+              !shapeDivisible(candidate.apply(base), arch, problem)) {
+            candidate.edgeTiles = true;
+            push(candidate);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sw::tuning

@@ -1,0 +1,115 @@
+// Schedule search space for the autotuner (replacing the fixed grid the
+// retired src/core/tuner.cc hard-coded).
+//
+// A schedule candidate is everything the paper's analytical model (§3.1,
+// §3.2, §6) decides by hand: the micro-kernel tile (tileM × tileN × tileK),
+// the strip-mining factor of the reduced dimension, the SPM buffer depth
+// (2 = the §6 double-buffered pipeline, 1 = issue-and-wait), and whether
+// the kernel carries edge-tile clamps (PR 5) instead of the §8.1 padding
+// convention.  The enumerator expands a configurable grid over those axes
+// and prunes analytically — against the same SPM working-set formula the
+// pipeline's planSpmLayout enforces and the same structural constraints it
+// SW_CHECKs (strip factor == mesh width, latency hiding requires RMA) —
+// so the search driver never burns a pipeline run on a candidate that is
+// known to throw.  Pruned points are kept in the output with the pruning
+// reason: the tuner's report shows *why* the space shrank, which is the
+// paper's own argument for the analytical model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/gemm_runner.h"
+#include "core/options.h"
+#include "sunway/arch.h"
+
+namespace sw::tuning {
+
+/// One point of the schedule search space: the knobs the tuner owns.
+/// Everything else (asm/RMA/fusion/transpose toggles) is inherited from
+/// the caller's base CodegenOptions via apply().
+struct ScheduleCandidate {
+  std::int64_t tileM = 64;
+  std::int64_t tileN = 64;
+  std::int64_t tileK = 32;
+  std::int64_t stripFactor = 8;
+  /// SPM phases per operand buffer: 2 = double-buffered §6 pipeline
+  /// (CodegenOptions::hideLatency), 1 = single-buffered issue-and-wait.
+  int bufferDepth = 2;
+  /// Edge-tile clamps (PR 5) instead of the §8.1 zero-padding convention.
+  bool edgeTiles = false;
+
+  /// Overlay this candidate onto `base`, leaving every non-schedule field
+  /// (asm, RMA, fusion, transposes, batching) untouched.  bufferDepth == 2
+  /// maps to hideLatency; the enumerator never emits depth 2 when the base
+  /// forbids it (no RMA / hiding disabled).
+  [[nodiscard]] core::CodegenOptions apply(core::CodegenOptions base) const;
+
+  /// "64x64x32/s8/d2/pad" — tile, strip factor, buffer depth, edge mode.
+  [[nodiscard]] std::string label() const;
+
+  /// Whether this tile matches the vendor micro-kernel contract (§7.2:
+  /// the assembly routine exists for exactly 64x64x32) under `base`.
+  [[nodiscard]] bool hasAsmKernel(const core::CodegenOptions& base) const;
+};
+
+/// One enumerated point plus its analytic feasibility verdict.
+struct EnumeratedCandidate {
+  ScheduleCandidate candidate;
+  /// Passed every analytic check; worth a pipeline run.
+  bool feasible = false;
+  /// Why the point was pruned (empty when feasible).
+  std::string pruneReason;
+  /// Analytic SPM working set of the candidate's buffer layout, in bytes
+  /// (mirrors the pipeline's SpmBufferDecl construction exactly).
+  std::int64_t spmBytesNeeded = 0;
+};
+
+/// The grid the enumerator expands.  Defaults cover the vendor point, its
+/// power-of-two neighbourhood and the non-64-multiple points edge-tile
+/// codegen made legal, plus deliberately-invalid strip factors so the
+/// report can show the §3.2 constraint binding.
+struct SearchSpaceConfig {
+  /// Values for the parallel tile dims; the grid takes every square point
+  /// plus the 2:1 rectangular neighbours of each value.
+  std::vector<std::int64_t> tileMN = {16, 32, 48, 64, 96, 128};
+  std::vector<std::int64_t> tileK = {16, 32, 48, 64};
+  /// Strip factors to enumerate; anything != arch.meshRows is pruned with
+  /// the §3.2 reason (recorded once per tile point, not per depth).
+  std::vector<std::int64_t> stripFactors = {4, 8, 16};
+  /// Buffer depths, best-first.
+  std::vector<int> bufferDepths = {2, 1};
+  /// Enumerate rectangular (tileM != tileN) neighbours.
+  bool rectangularTiles = true;
+  /// Enumerate edge-tile variants when the problem shape is not divisible
+  /// by the candidate tile grid (divisible shapes bind no clamps, so the
+  /// edge variant would be redundant).
+  bool edgeCandidates = true;
+};
+
+/// Analytic SPM working set of `options` in bytes: C + double/single
+/// buffered DMA operands + RMA mirrors + transpose scratch, 8 bytes per
+/// double.  Matches what the pipeline hands planSpmLayout, so
+/// `spmBytesForOptions(o, arch) <= arch.spmBytes` iff compile succeeds on
+/// the SPM axis.
+[[nodiscard]] std::int64_t spmBytesForOptions(
+    const core::CodegenOptions& options);
+
+/// Whether the problem divides evenly by the applied options' tile grid
+/// on all three dims (batch never tiles); when it does, edge clamps never
+/// bind.  Takes the *applied* options because the k rounding unit depends
+/// on the RMA strip-mining, not just the candidate.
+[[nodiscard]] bool shapeDivisible(const core::CodegenOptions& applied,
+                                  const sunway::ArchConfig& arch,
+                                  const core::GemmProblem& problem);
+
+/// Expand the grid against `base`/`arch`/`problem`.  The first entry is
+/// always the analytic default (the base options' own schedule), so a
+/// search that finds no strictly better candidate keeps the paper's
+/// choice.  Order is deterministic; every point appears exactly once.
+[[nodiscard]] std::vector<EnumeratedCandidate> enumerateCandidates(
+    const core::CodegenOptions& base, const sunway::ArchConfig& arch,
+    const core::GemmProblem& problem, const SearchSpaceConfig& config = {});
+
+}  // namespace sw::tuning

@@ -1,76 +1,16 @@
-// Tests of the tile auto-tuner (validating the §3.1 analytical model) and
-// the multi-cluster decomposition (the §9 future-work layer).
+// Tests of the multi-cluster decomposition (the §9 future-work layer).
+// The tile auto-tuner that used to share this file lives in src/tuning/
+// now and is covered by tuning_search_test.cc.
 #include <gtest/gtest.h>
 
 #include <random>
 #include <vector>
 
 #include "core/multi_cluster.h"
-#include "core/tuner.h"
 #include "kernel/reference.h"
 
 namespace sw::core {
 namespace {
-
-TEST(Tuner, LandsOnTheAnalyticalChoice) {
-  // §3.1: the analytical model adopts the micro-kernel shape; the
-  // exhaustive search must agree.
-  TuneResult result = tuneTileSizes(CodegenOptions{}, sunway::ArchConfig{},
-                                    GemmProblem{4096, 4096, 4096});
-  EXPECT_EQ(result.best().label(), "64x64x32");
-  EXPECT_TRUE(result.best().hasAsmKernel);
-  EXPECT_EQ(result.candidates.size(), 12u);
-  EXPECT_GT(result.searchSeconds, 0.0);
-}
-
-TEST(Tuner, FlagsSpmOverflows) {
-  TuneResult result = tuneTileSizes(CodegenOptions{}, sunway::ArchConfig{},
-                                    GemmProblem{2048, 2048, 2048});
-  int infeasible = 0;
-  for (const TuneCandidate& candidate : result.candidates) {
-    if (!candidate.feasible) {
-      ++infeasible;
-      EXPECT_NE(candidate.note.find("SPM"), std::string::npos);
-    } else {
-      EXPECT_GT(candidate.gflops, 0.0);
-    }
-  }
-  // 64x64x64, 128x128x32 and 128x128x64 overflow with double buffering.
-  EXPECT_EQ(infeasible, 3);
-}
-
-TEST(Tuner, AsmContractDominatesEverythingElse) {
-  TuneResult result = tuneTileSizes(CodegenOptions{}, sunway::ArchConfig{},
-                                    GemmProblem{8192, 8192, 8192});
-  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
-    const TuneCandidate& candidate = result.candidates[i];
-    if (!candidate.feasible || i == result.bestIndex) continue;
-    EXPECT_LT(candidate.gflops, result.best().gflops) << candidate.label();
-  }
-}
-
-TEST(Tuner, TinySpmRaisesStructuredError) {
-  // With a 4 KB SPM no candidate fits even single-buffered; the search
-  // must raise a structured InputError naming the budget instead of dying
-  // on an internal invariant.
-  sunway::ArchConfig arch;
-  arch.spmBytes = 4 * 1024;
-  try {
-    tuneTileSizes(CodegenOptions{}, arch, GemmProblem{512, 512, 512});
-    FAIL() << "expected InputError for an SPM too small for any candidate";
-  } catch (const sw::InputError& e) {
-    const std::string msg = e.what();
-    EXPECT_NE(msg.find("SPM budget of 4096 bytes"), std::string::npos) << msg;
-  }
-}
-
-TEST(Tuner, BestOnEmptyResultThrowsInsteadOfIndexing) {
-  TuneResult empty;
-  EXPECT_THROW((void)empty.best(), sw::InputError);
-  TuneResult infeasibleOnly;
-  infeasibleOnly.candidates.push_back(TuneCandidate{});
-  EXPECT_THROW((void)infeasibleOnly.best(), sw::InputError);
-}
 
 std::vector<double> randomMatrix(std::int64_t count, unsigned seed) {
   std::mt19937 rng(seed);

@@ -1,0 +1,292 @@
+// Tests of the schedule search space and the two-stage search driver
+// (src/tuning/) — the estimator-guided autotuner that replaced the fixed
+// grid of the retired src/core/tuner.cc.  The migrated behaviors from
+// tuner_multicluster_test.cc live here: the §3.1 agreement with the
+// analytical model, SPM-overflow pruning, the structured infeasible-budget
+// error, and the checked-accessor regression for empty searches.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "support/error.h"
+#include "tuning/search_space.h"
+#include "tuning/tuner.h"
+
+namespace sw::tuning {
+namespace {
+
+// --- enumerator ---------------------------------------------------------
+
+TEST(SearchSpace, AnalyticDefaultIsAlwaysFirst) {
+  const core::CodegenOptions base;
+  const std::vector<EnumeratedCandidate> space = enumerateCandidates(
+      base, sunway::ArchConfig{}, core::GemmProblem{1024, 1024, 1024});
+  ASSERT_FALSE(space.empty());
+  EXPECT_EQ(space.front().candidate.tileM, base.tileM);
+  EXPECT_EQ(space.front().candidate.tileN, base.tileN);
+  EXPECT_EQ(space.front().candidate.tileK, base.tileK);
+  EXPECT_EQ(space.front().candidate.stripFactor, base.stripFactor);
+  EXPECT_TRUE(space.front().feasible);
+}
+
+TEST(SearchSpace, EveryPointAppearsExactlyOnce) {
+  const std::vector<EnumeratedCandidate> space =
+      enumerateCandidates(core::CodegenOptions{}, sunway::ArchConfig{},
+                          core::GemmProblem{100, 100, 100});
+  std::set<std::string> labels;
+  for (const EnumeratedCandidate& e : space)
+    EXPECT_TRUE(labels.insert(e.candidate.label()).second)
+        << "duplicate candidate " << e.candidate.label();
+}
+
+TEST(SearchSpace, PrunesNonMeshStripFactorsWithTheParagraphReason) {
+  // §3.2: the strip-mining factor must equal the mesh width; 4 and 16 are
+  // enumerated so the report can show the constraint binding.
+  const std::vector<EnumeratedCandidate> space =
+      enumerateCandidates(core::CodegenOptions{}, sunway::ArchConfig{},
+                          core::GemmProblem{1024, 1024, 1024});
+  int badStrip = 0;
+  for (const EnumeratedCandidate& e : space) {
+    if (e.candidate.stripFactor == 8) continue;
+    ++badStrip;
+    EXPECT_FALSE(e.feasible) << e.candidate.label();
+    EXPECT_NE(e.pruneReason.find("strip factor"), std::string::npos)
+        << e.pruneReason;
+    EXPECT_NE(e.pruneReason.find("§3.2"), std::string::npos) << e.pruneReason;
+  }
+  EXPECT_GT(badStrip, 0);
+}
+
+TEST(SearchSpace, PrunesSpmOverflowsNamingTheWorkingSet) {
+  // Migrated from Tuner.FlagsSpmOverflows: big double-buffered tiles blow
+  // the 256 KB SPM; the prune reason names both sides of the inequality.
+  const std::vector<EnumeratedCandidate> space =
+      enumerateCandidates(core::CodegenOptions{}, sunway::ArchConfig{},
+                          core::GemmProblem{2048, 2048, 2048});
+  int overflows = 0;
+  for (const EnumeratedCandidate& e : space) {
+    if (e.feasible || e.pruneReason.find("SPM") == std::string::npos)
+      continue;
+    ++overflows;
+    EXPECT_NE(e.pruneReason.find("exceeds the SPM budget"), std::string::npos)
+        << e.pruneReason;
+    EXPECT_GT(e.spmBytesNeeded, sunway::ArchConfig{}.spmBytes)
+        << e.candidate.label();
+  }
+  EXPECT_GT(overflows, 0);
+}
+
+TEST(SearchSpace, SpmFormulaMatchesTheCompiledProgram) {
+  // The analytic working set must mirror the pipeline's SpmBufferDecl
+  // construction exactly, or the enumerator would burn pipeline runs on
+  // known-infeasible points (or prune feasible ones).
+  for (std::int64_t tile : {32L, 64L}) {
+    core::CodegenOptions options;
+    options.tileM = options.tileN = tile;
+    const core::CompiledKernel kernel =
+        core::SwGemmCompiler().compile(options);
+    EXPECT_EQ(spmBytesForOptions(options), kernel.program.spmBytesUsed())
+        << "tile " << tile;
+  }
+}
+
+TEST(SearchSpace, EdgeVariantsOnlyForNonDivisibleShapes) {
+  const core::CodegenOptions base;
+  // 1024 divides every power-of-two tile: the square power-of-two points
+  // must not grow a redundant edge twin.
+  for (const EnumeratedCandidate& e :
+       enumerateCandidates(base, sunway::ArchConfig{},
+                           core::GemmProblem{1024, 1024, 1024})) {
+    if (e.candidate.edgeTiles) {
+      EXPECT_FALSE(shapeDivisible(e.candidate.apply(base),
+                                  sunway::ArchConfig{},
+                                  core::GemmProblem{1024, 1024, 1024}))
+          << e.candidate.label();
+    }
+  }
+  // 100^3 divides no candidate tile, so edge variants must exist.
+  int edges = 0;
+  for (const EnumeratedCandidate& e :
+       enumerateCandidates(base, sunway::ArchConfig{},
+                           core::GemmProblem{100, 100, 100}))
+    edges += e.candidate.edgeTiles ? 1 : 0;
+  EXPECT_GT(edges, 0);
+}
+
+TEST(SearchSpace, NoDoubleBufferCandidatesWhenBaseForbidsRma) {
+  core::CodegenOptions noRma;
+  noRma.useRma = false;
+  noRma.hideLatency = false;
+  for (const EnumeratedCandidate& e :
+       enumerateCandidates(noRma, sunway::ArchConfig{},
+                           core::GemmProblem{1024, 1024, 1024})) {
+    // (strip-factor pruning takes precedence, so only valid-strip points
+    // carry the pipeline reason)
+    if (e.candidate.bufferDepth == 2 && !e.feasible &&
+        e.candidate.stripFactor == 8) {
+      EXPECT_NE(e.pruneReason.find("double buffering"), std::string::npos)
+          << e.pruneReason;
+    }
+    if (e.feasible) {
+      EXPECT_EQ(e.candidate.bufferDepth, 1);
+    }
+  }
+}
+
+// --- search driver ------------------------------------------------------
+
+/// Estimator-only search config: fast, and sufficient for ranking tests.
+TunerConfig estimateOnly() {
+  TunerConfig config;
+  config.validateTopN = 0;
+  return config;
+}
+
+TEST(ScheduleSearch, LandsOnTheAnalyticalChoiceAtPaperScale) {
+  // Migrated from Tuner.LandsOnTheAnalyticalChoice (§3.1): at a square
+  // paper-scale shape the asm contract dominates and the search must agree
+  // with the analytical model's 64x64x32.
+  const ScheduleSearchResult result =
+      searchSchedules(core::CodegenOptions{}, sunway::ArchConfig{},
+                      core::GemmProblem{1024, 1024, 1024}, estimateOnly());
+  EXPECT_EQ(result.best().candidate.tileM, 64);
+  EXPECT_EQ(result.best().candidate.tileN, 64);
+  EXPECT_EQ(result.best().candidate.tileK, 32);
+  EXPECT_EQ(result.best().candidate.bufferDepth, 2);
+  EXPECT_FALSE(result.best().candidate.edgeTiles);
+  EXPECT_TRUE(result.best().hasAsmKernel);
+  EXPECT_GT(result.searchSeconds, 0.0);
+  // The asm winner strictly dominates every other feasible candidate.
+  for (const CandidateResult& c : result.candidates()) {
+    if (!c.feasible || c.label() == result.best().label()) continue;
+    EXPECT_LT(c.estimatedGflops, result.best().estimatedGflops) << c.label();
+  }
+}
+
+TEST(ScheduleSearch, EdgeScheduleBeatsTheAnalyticDefaultOnOddShapes) {
+  // The payoff the subsystem exists for: on shapes where padding waste
+  // dominates, a smaller edge-tiled schedule must beat the paper's
+  // analytic default.
+  const ScheduleSearchResult result =
+      searchSchedules(core::CodegenOptions{}, sunway::ArchConfig{},
+                      core::GemmProblem{100, 100, 100}, estimateOnly());
+  EXPECT_TRUE(result.best().candidate.edgeTiles);
+  // candidates()[0] is the analytic default by construction.
+  const CandidateResult& analytic = result.candidates().front();
+  EXPECT_EQ(analytic.candidate.tileM, 64);
+  EXPECT_GT(result.best().estimatedGflops, analytic.estimatedGflops);
+}
+
+TEST(ScheduleSearch, ValidationAttachesMeasuredMeshReports) {
+  TunerConfig config;
+  config.validateTopN = 2;
+  const ScheduleSearchResult result =
+      searchSchedules(core::CodegenOptions{}, sunway::ArchConfig{},
+                      core::GemmProblem{100, 100, 100}, config);
+  EXPECT_EQ(result.validatedCount(), 2);
+  // 100^3 = 2 MFLOP fits the budget, so the mesh measurement decides.
+  EXPECT_TRUE(result.validationAtFullShape);
+  EXPECT_EQ(result.validationShape.m, 100);
+  EXPECT_TRUE(result.best().validated);
+  EXPECT_GT(result.best().measuredGflops, 0.0);
+  for (const CandidateResult& c : result.candidates()) {
+    if (!c.validated) continue;
+    // The attached report is the mesh run's attribution: buckets sum to
+    // ~100% and the roofline has a verdict.
+    EXPECT_NEAR(c.report.attribution.sum(), 100.0, 0.5) << c.label();
+    EXPECT_FALSE(c.report.roofline.verdict.empty()) << c.label();
+  }
+}
+
+TEST(ScheduleSearch, PaperScaleShapesValidateAProxyShape) {
+  TunerConfig config;
+  config.validateTopN = 1;
+  const ScheduleSearchResult result =
+      searchSchedules(core::CodegenOptions{}, sunway::ArchConfig{},
+                      core::GemmProblem{4096, 4096, 4096}, config);
+  // 4096^3 = 137 GFLOP blows the 1 GFLOP validation budget: stage 2 runs
+  // a halved proxy shape and the estimator ranking stands.
+  EXPECT_FALSE(result.validationAtFullShape);
+  EXPECT_LT(result.validationShape.m, 4096);
+  EXPECT_GT(result.validationShape.m, 0);
+  EXPECT_EQ(result.best().label(), "64x64x32/s8/d2/pad");
+}
+
+TEST(ScheduleSearch, DeterministicAcrossRuns) {
+  // Stage 1 ranks with the logical-clock estimator, so two searches of the
+  // same request must agree exactly (the property the tuning DB relies on).
+  const core::GemmProblem problem{257, 63, 65};
+  const ScheduleSearchResult first = searchSchedules(
+      core::CodegenOptions{}, sunway::ArchConfig{}, problem, estimateOnly());
+  const ScheduleSearchResult second = searchSchedules(
+      core::CodegenOptions{}, sunway::ArchConfig{}, problem, estimateOnly());
+  EXPECT_EQ(first.best().label(), second.best().label());
+  EXPECT_DOUBLE_EQ(first.best().estimatedGflops,
+                   second.best().estimatedGflops);
+  EXPECT_EQ(first.candidates().size(), second.candidates().size());
+}
+
+TEST(ScheduleSearch, TinySpmRaisesStructuredError) {
+  // Migrated from Tuner.TinySpmRaisesStructuredError: with a 4 KB SPM no
+  // candidate fits even single-buffered; the search must raise a
+  // structured InputError naming the budget instead of dying on an
+  // internal invariant.
+  sunway::ArchConfig arch;
+  arch.spmBytes = 4 * 1024;
+  try {
+    (void)searchSchedules(core::CodegenOptions{}, arch,
+                          core::GemmProblem{512, 512, 512}, estimateOnly());
+    FAIL() << "expected InputError for an SPM too small for any candidate";
+  } catch (const sw::InputError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("SPM budget of 4096 bytes"), std::string::npos) << msg;
+  }
+}
+
+TEST(ScheduleSearch, EmptyResultNeverIndexesOutOfBounds) {
+  // Regression for the retired TuneResult::bestIndex footgun: an empty or
+  // all-infeasible search exposes no index to misuse — best() throws,
+  // bestOrNull() is null, bestOptions() throws.
+  const ScheduleSearchResult empty;
+  EXPECT_FALSE(empty.hasBest());
+  EXPECT_THROW((void)empty.best(), sw::InputError);
+  EXPECT_EQ(empty.bestOrNull(), nullptr);
+  EXPECT_THROW((void)empty.bestOptions(core::CodegenOptions{}),
+               sw::InputError);
+
+  std::vector<CandidateResult> infeasibleOnly(2);
+  infeasibleOnly[0].note = "pruned";
+  infeasibleOnly[1].note = "pruned";
+  const ScheduleSearchResult noFeasible(std::move(infeasibleOnly));
+  EXPECT_FALSE(noFeasible.hasBest());
+  EXPECT_THROW((void)noFeasible.best(), sw::InputError);
+  EXPECT_EQ(noFeasible.bestOrNull(), nullptr);
+  EXPECT_EQ(noFeasible.feasibleCount(), 0);
+}
+
+TEST(ScheduleSearch, MeasurementDecidesOnlyWhenMarked) {
+  // Two feasible candidates where the estimate and the measurement
+  // disagree: the ctor must follow the measurement only when the search
+  // says it ran at the full shape.
+  std::vector<CandidateResult> candidates(2);
+  candidates[0].feasible = true;
+  candidates[0].estimatedGflops = 100.0;
+  candidates[0].validated = true;
+  candidates[0].measuredGflops = 10.0;
+  candidates[1].feasible = true;
+  candidates[1].estimatedGflops = 50.0;
+  candidates[1].validated = true;
+  candidates[1].measuredGflops = 20.0;
+
+  const ScheduleSearchResult byEstimate(candidates);
+  EXPECT_DOUBLE_EQ(byEstimate.best().estimatedGflops, 100.0);
+  const ScheduleSearchResult byMeasurement(candidates,
+                                           /*measurementDecides=*/true);
+  EXPECT_DOUBLE_EQ(byMeasurement.best().measuredGflops, 20.0);
+}
+
+}  // namespace
+}  // namespace sw::tuning

@@ -7,6 +7,7 @@
 //             [--dump-schedule] [--estimate M N K [B]]
 //             [--profile] [--trace OUT.json] [--cache-dir DIR]
 //   swcodegen --warm SHAPES | --serve-batch FILE  [--cache-dir DIR] [-j N]
+//   swcodegen --tune M N K [B]  [--tuning-dir DIR] [--cache-dir DIR]
 //
 // --batch is detected automatically from the input program (a 4-deep nest
 // over 3D arrays), as are the fusion patterns; the explicit flags mirror
@@ -82,6 +83,14 @@ void usage(std::FILE* out) {
       "  --cache-dir DIR    persistent kernel cache: repeated compiles of\n"
       "                     the same options+architecture are served from\n"
       "                     disk without re-running the pipeline\n"
+      "  --tune M N K [B]   search the schedule space for the shape (two\n"
+      "                     stages: estimator ranking, then measured mesh\n"
+      "                     validation of the top candidates), print the\n"
+      "                     winner and write its athread sources; no\n"
+      "                     INPUT.c needed.  Repeat invocations are served\n"
+      "                     from the tuning database without re-searching\n"
+      "  --tuning-dir DIR   persistent tuning database for --tune (default:\n"
+      "                     <cache-dir>/tune when --cache-dir is set)\n"
       "  --inject SPEC      run a chaos smoke: functional mesh run under a\n"
       "                     deterministic fault plan with retry and\n"
       "                     graceful degradation.  SPEC is ';'-separated\n"
@@ -107,6 +116,7 @@ void usage(std::FILE* out) {
       "  SWCODEGEN_LOG         debug|info|warn — structured log threshold\n"
       "  SWCODEGEN_TRACE       path — enable tracing and write there on exit\n"
       "  SWCODEGEN_CACHE_DIR   default for --cache-dir\n"
+      "  SWCODEGEN_TUNING_DIR  default for --tuning-dir\n"
       "  SWCODEGEN_WATCHDOG_MS default for --watchdog-ms\n");
 }
 
@@ -363,6 +373,109 @@ bool parseNonNegativeDouble(const char* text, double* out) {
   return true;
 }
 
+/// --tune: resolve the best schedule for a problem shape through the
+/// service's tuner (tuning-DB consult, two-stage search on a miss), print
+/// the decision with a machine-greppable `schedule source:` line, and
+/// write the winner's athread sources.
+int runTuneMode(sw::service::KernelService& service,
+                const sw::core::CodegenOptions& base,
+                const std::vector<long>& shape,
+                const std::string& outputPrefix) {
+  const sw::core::GemmProblem problem{shape[0], shape[1], shape[2],
+                                      shape.size() == 4 ? shape[3] : 1};
+  std::printf("tuning %ldx%ldx%ld batch %lld over the schedule space\n",
+              shape[0], shape[1], shape[2],
+              static_cast<long long>(problem.batch));
+
+  // Enumeration summary (analytic, no pipeline runs): what the search
+  // considers and why the §3.2 / SPM constraints shrink it.
+  const std::vector<sw::tuning::EnumeratedCandidate> space =
+      sw::tuning::enumerateCandidates(base, service.arch(), problem,
+                                      service.config().tuner.space);
+  int feasible = 0, pruneStrip = 0, pruneSpm = 0, pruneOther = 0;
+  for (const sw::tuning::EnumeratedCandidate& e : space) {
+    if (e.feasible) {
+      ++feasible;
+    } else if (e.pruneReason.find("strip factor") != std::string::npos) {
+      ++pruneStrip;
+    } else if (e.pruneReason.find("SPM") != std::string::npos) {
+      ++pruneSpm;
+    } else {
+      ++pruneOther;
+    }
+  }
+  std::printf("search space: %zu candidates, %d feasible (pruned: %d "
+              "strip-factor, %d SPM budget, %d pipeline)\n",
+              space.size(), feasible, pruneStrip, pruneSpm, pruneOther);
+
+  // Where the paper's analytic default lands on this shape, for contrast
+  // with the tuned winner below.
+  try {
+    const sw::service::KernelService::KernelPtr defaultKernel =
+        service.compile(base);
+    const sw::rt::RunOutcome defaultEstimate =
+        sw::core::estimateGemm(*defaultKernel, service.arch(), problem);
+    std::printf("analytic default %lldx%lldx%lld/s%lld: %.2f GFLOPS "
+                "simulated\n",
+                static_cast<long long>(base.tileM),
+                static_cast<long long>(base.tileN),
+                static_cast<long long>(base.tileK),
+                static_cast<long long>(base.stripFactor),
+                defaultEstimate.gflops);
+  } catch (const sw::Error& e) {
+    std::printf("analytic default: infeasible for this request (%s)\n",
+                e.what());
+  }
+
+  const sw::service::KernelService::ResolvedSchedule resolved =
+      service.resolveSchedule(base, problem);
+  const sw::tuning::TunedScheduleRecord& record = resolved.record;
+  std::printf("best schedule: tile %lldx%lldx%lld strip %lld depth %d %s "
+              "— %.2f GFLOPS simulated (%s)\n",
+              static_cast<long long>(record.schedule.tileM),
+              static_cast<long long>(record.schedule.tileN),
+              static_cast<long long>(record.schedule.tileK),
+              static_cast<long long>(record.schedule.stripFactor),
+              record.schedule.bufferDepth,
+              record.schedule.edgeTiles ? "edge" : "pad", record.gflops,
+              record.verdict.empty() ? "unvalidated" : record.verdict.c_str());
+  std::printf("search report: %d enumerated, %d feasible, %d validated on "
+              "the mesh, %.2f s host search time\n",
+              record.candidatesEnumerated, record.candidatesFeasible,
+              record.candidatesValidated, record.searchSeconds);
+
+  const std::string dbPath = service.tuningDbPath(
+      sw::tuning::canonicalTuneKey(base, service.arch(), problem));
+  switch (resolved.source) {
+    case sw::service::KernelService::ResolvedSchedule::Source::kSearch:
+      std::printf("schedule source: search%s%s\n",
+                  dbPath.empty() ? " (no tuning dir, decision not persisted)"
+                                 : ", stored in ",
+                  dbPath.c_str());
+      break;
+    case sw::service::KernelService::ResolvedSchedule::Source::kDiskHit:
+      std::printf("schedule source: tuning-db (disk hit, search not "
+                  "re-run: %s)\n",
+                  dbPath.c_str());
+      break;
+    case sw::service::KernelService::ResolvedSchedule::Source::kShared:
+      std::printf("schedule source: shared in-flight search\n");
+      break;
+  }
+
+  sw::service::ServeOutcome outcome = sw::service::ServeOutcome::kCompiled;
+  const sw::service::KernelService::KernelPtr kernel =
+      service.compile(resolved.options, &outcome);
+  const std::string prefix =
+      outputPrefix.empty() ? kernel->program.name : outputPrefix;
+  writeFile(prefix + "_cpe.c", kernel->cpeSource);
+  writeFile(prefix + "_mpe.c", kernel->mpeSource);
+  std::printf("wrote %s_cpe.c and %s_mpe.c (kernel '%s', served via %s)\n",
+              prefix.c_str(), prefix.c_str(), kernel->program.name.c_str(),
+              sw::service::toString(outcome));
+  return 0;
+}
+
 /// --warm / --serve-batch: compile all requests on the worker pool and
 /// print the per-request serving report.
 int runBatchMode(sw::service::KernelService& service,
@@ -416,6 +529,7 @@ int main(int argc, char** argv) {
   std::string outputPrefix;
   std::string tracePath;
   std::string cacheDir;
+  std::string tuningDir;
   std::string warmShapes;
   std::string batchManifestPath;
   std::string injectSpec;
@@ -429,6 +543,7 @@ int main(int argc, char** argv) {
   bool noHiding = false;
   std::vector<long> estimate;
   std::vector<long> runShape;
+  std::vector<long> tuneShape;
   sw::core::PadMode padMode = sw::core::PadMode::kAuto;
   sw::core::CodegenOptions options;
 
@@ -486,6 +601,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       cacheDir = argv[++i];
+    } else if (arg == "--tuning-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "swcodegen: --tuning-dir requires a directory path\n");
+        return 2;
+      }
+      tuningDir = argv[++i];
     } else if (arg == "--inject") {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
@@ -526,11 +648,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       ++i;
-    } else if (arg == "--estimate" || arg == "--run") {
+    } else if (arg == "--estimate" || arg == "--run" || arg == "--tune") {
       // Exactly M N K plus an optional batch count; every value must be a
       // positive integer (silently misparsed shapes used to slip through
       // strtol here).
-      std::vector<long>& shape = arg == "--run" ? runShape : estimate;
+      std::vector<long>& shape = arg == "--run"
+                                     ? runShape
+                                     : (arg == "--tune" ? tuneShape
+                                                        : estimate);
       for (int want = 0; want < 4; ++want) {
         if (i + 1 >= argc) break;
         if (want == 3 && argv[i + 1][0] == '-') break;  // B is optional
@@ -594,9 +719,22 @@ int main(int argc, char** argv) {
     const char* env = std::getenv("SWCODEGEN_CACHE_DIR");
     if (env != nullptr && env[0] != '\0') cacheDir = env;
   }
+  if (tuningDir.empty()) {
+    const char* env = std::getenv("SWCODEGEN_TUNING_DIR");
+    if (env != nullptr && env[0] != '\0') tuningDir = env;
+  }
   const bool batchMode = !warmShapes.empty() || !batchManifestPath.empty();
-  if (inputPath.empty() && !batchMode) {
+  const bool tuneMode = !tuneShape.empty();
+  if (inputPath.empty() && !batchMode && !tuneMode) {
     usage(stderr);
+    return 2;
+  }
+  if (tuneMode && (batchMode || !inputPath.empty() || !injectSpec.empty() ||
+                   !reportMode.empty())) {
+    std::fprintf(stderr,
+                 "swcodegen: --tune is a standalone mode (its base options "
+                 "come from the schedule flags); drop the INPUT.c / "
+                 "--warm / --serve-batch / --inject / --report arguments\n");
     return 2;
   }
   if (!reportMode.empty() && batchMode) {
@@ -647,9 +785,20 @@ int main(int argc, char** argv) {
   try {
     sw::service::KernelServiceConfig serviceConfig;
     serviceConfig.cacheDir = cacheDir;
+    serviceConfig.tuningDir = tuningDir;
     serviceConfig.threads = static_cast<int>(jobs);
     sw::service::KernelService service(sw::sunway::ArchConfig{},
                                        serviceConfig);
+
+    if (tuneMode) {
+      const int rc = runTuneMode(service, options, tuneShape, outputPrefix);
+      if (!tracePath.empty()) {
+        sw::trace::Tracer::global().writeFile(tracePath);
+        std::printf("wrote trace to %s (%zu events)\n", tracePath.c_str(),
+                    sw::trace::Tracer::global().eventCount());
+      }
+      return rc;
+    }
 
     if (batchMode) {
       std::vector<sw::core::CodegenOptions> requests;
