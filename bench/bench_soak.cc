@@ -1,0 +1,90 @@
+// Soak benchmark: the admission frontend under sustained overload + chaos.
+//
+// Prints the SoakReport table of one large replay first (default one
+// million requests, override with SWK_SOAK_REQUESTS): Zipfian-popular
+// kernel catalog, rotating tenants with one deliberately under-provisioned
+// quota, a bounded queue drained by a small worker pool, and a
+// fault-injection plan running as chaos against periodically verified
+// functional mesh runs.  Targets: shed rate > 0 (the quota and the bounded
+// queue both bite), p99 queue wait bounded by the configured deadline, and
+// zero wrong-answer completions.  Then registers google-benchmark cases
+// whose counters ("throughput_rps", "shed_rate", "queue_wait_p99_ms",
+// "wrong_answers") let CI harnesses track the same quantities.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "bench_common.h"
+#include "service/soak.h"
+#include "sunway/fault.h"
+
+namespace sw::bench {
+namespace {
+
+/// Transient, recoverable chaos: dropped and corrupted DMA replies plus
+/// delayed RMA rounds, all probabilistic and seeded (deterministic).
+constexpr const char* kChaosPlan =
+    "dma-drop:rate=0.02;dma-corrupt:rate=0.01;rma-delay:rate=0.02:seconds=2e-6";
+
+service::SoakConfig soakConfig(std::int64_t requests) {
+  service::SoakConfig config;
+  config.requests = requests;
+  config.clientThreads = 4;
+  config.clientWindow = 64;
+  config.catalogSize = 24;
+  config.deadlineSeconds = 0.25;
+  config.verifyEvery = 5000;
+  config.chaosPlan = std::make_shared<sunway::FaultPlan>(
+      sunway::FaultPlan::parse(kChaosPlan));
+  config.admission.maxQueueDepth = 128;
+  config.admission.workers = 4;
+  // tenant-c is deliberately under-provisioned so quota shedding is
+  // exercised even when cache hits make every request cheap.
+  config.admission.tenantQuotas["tenant-c"] =
+      service::TenantQuota{/*burst=*/200.0, /*refillPerSecond=*/500.0};
+  return config;
+}
+
+void printSoakTable() {
+  std::int64_t requests = 1'000'000;
+  if (const char* env = std::getenv("SWK_SOAK_REQUESTS"))
+    requests = std::atoll(env);
+  service::KernelService service;
+  const service::SoakReport report =
+      service::runSoak(service, soakConfig(requests));
+  std::printf("Soak: admission frontend under overload + chaos\n");
+  printRule(72);
+  std::printf("%s", report.toText().c_str());
+  printRule(72);
+  std::printf("targets: shed rate > 0, queue-wait p99 <= %.0f ms, "
+              "wrong answers == 0%s\n\n",
+              report.deadlineMs,
+              report.wrongAnswers == 0 ? "  [ok]" : "  [VIOLATED]");
+}
+
+void BM_Soak(benchmark::State& state) {
+  service::KernelService service;
+  service::SoakReport report;
+  for (auto _ : state)
+    report = service::runSoak(service, soakConfig(state.range(0)));
+  state.counters["throughput_rps"] = report.throughputPerSecond;
+  state.counters["shed_rate"] = report.shedRate;
+  state.counters["hit_rate"] = report.hitRate;
+  state.counters["queue_wait_p99_ms"] = report.queueWaitP99Ms;
+  state.counters["latency_p99_ms"] = report.latencyP99Ms;
+  state.counters["breaker_trips"] = static_cast<double>(report.breakerTrips);
+  state.counters["wrong_answers"] = static_cast<double>(report.wrongAnswers);
+}
+BENCHMARK(BM_Soak)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sw::bench
+
+int main(int argc, char** argv) {
+  sw::bench::printSoakTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

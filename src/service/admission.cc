@@ -1,0 +1,111 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+
+namespace sw::service {
+
+void TokenBucket::refill(double now) {
+  if (now <= lastRefill_) return;  // clock went backwards or stood still
+  tokens_ = std::min(quota_.burst,
+                     tokens_ + (now - lastRefill_) * quota_.refillPerSecond);
+  lastRefill_ = now;
+}
+
+bool TokenBucket::tryAcquire(double now, double tokens) {
+  refill(now);
+  if (tokens_ < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::available(double now) {
+  refill(now);
+  return tokens_;
+}
+
+bool TenantQuotas::tryAcquire(const std::string& tenant, double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    auto override = overrides_.find(tenant);
+    const TenantQuota quota =
+        override != overrides_.end() ? override->second : defaultQuota_;
+    it = buckets_.emplace(tenant, TokenBucket(quota, now)).first;
+  }
+  return it->second.tryAcquire(now);
+}
+
+CircuitBreaker::CircuitBreaker(std::string domain, int failureThreshold,
+                               double cooldownSeconds)
+    : domain_(std::move(domain)),
+      failureThreshold_(std::max(1, failureThreshold)),
+      cooldownSeconds_(cooldownSeconds) {}
+
+bool CircuitBreaker::allowRequest(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return true;
+  if (now - openedAt_ < cooldownSeconds_ || probeInFlight_) return false;
+  probeInFlight_ = true;  // this caller is the half-open probe
+  return true;
+}
+
+void CircuitBreaker::recordSuccess(double now) {
+  (void)now;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (open_) {
+    SW_INFO("service", "event=breaker_close domain=", domain_,
+            " cause=half_open_probe_succeeded");
+    metrics::MetricsRegistry::global().set(
+        "service.admission.breaker_open." + domain_, 0.0);
+  }
+  open_ = false;
+  probeInFlight_ = false;
+  consecutiveFailures_ = 0;
+}
+
+void CircuitBreaker::recordFailure(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (open_) {
+    // The half-open probe failed: stay open for another cooldown.
+    probeInFlight_ = false;
+    openedAt_ = now;
+    return;
+  }
+  if (++consecutiveFailures_ < failureThreshold_) return;
+  open_ = true;
+  probeInFlight_ = false;
+  openedAt_ = now;
+  ++trips_;
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::global();
+  registry.add("service.admission.breaker_trip", 1.0);
+  registry.set("service.admission.breaker_open." + domain_, 1.0);
+  SW_WARN("service", "event=breaker_trip domain=", domain_,
+          " consecutive_failures=", consecutiveFailures_,
+          " cooldown_s=", cooldownSeconds_);
+}
+
+CircuitBreaker::State CircuitBreaker::state(double now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return State::kClosed;
+  return (now - openedAt_ >= cooldownSeconds_) ? State::kHalfOpen
+                                               : State::kOpen;
+}
+
+std::int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+const char* toString(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+}  // namespace sw::service

@@ -1,0 +1,159 @@
+// Admission-control primitives for overload-safe serving.
+//
+// The polyhedral pipeline is expensive per cache miss, so under heavy
+// traffic the service must shed, degrade and bound latency instead of
+// queueing unboundedly behind compiles and tuner searches.  This header
+// holds the building blocks ServiceFrontend composes:
+//   * RequestContext — who is asking (tenant), how urgent (priority) and
+//     how long they are willing to wait (deadline);
+//   * TokenBucket / TenantQuotas — per-tenant rate limiting, so one noisy
+//     tenant cannot crowd everyone else out of the queue;
+//   * CircuitBreaker — per failure domain (compile pipeline, mesh run,
+//     tuner search): trips after consecutive failures, fails callers fast
+//     while open, and lets exactly one half-open probe through after the
+//     cooldown to test recovery.
+// All primitives are clock-explicit (the caller passes `now` in seconds)
+// so tests drive them deterministically with a fake clock, and internally
+// locked so the frontend's worker pool can share them.
+//
+// Shed requests always surface as a typed OverloadError (support/error.h)
+// naming the reason and the tenant — never a silent drop.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace sw::service {
+
+/// Per-request serving contract carried alongside the payload.
+struct RequestContext {
+  /// Quota accounting key; requests without an explicit tenant share the
+  /// "default" bucket.
+  std::string tenant = "default";
+
+  /// Larger values are served first; ties are FIFO.  The queue displaces
+  /// the newest strictly-lower-priority entry when full, so a low-priority
+  /// flood can never starve a high-priority request.
+  int priority = 0;
+
+  /// Remaining time budget in seconds, measured from enqueue.  Infinity
+  /// (the default) means no per-request deadline (the frontend's
+  /// configured default still applies); a non-positive budget is already
+  /// expired and is rejected at enqueue.
+  double deadlineSeconds = std::numeric_limits<double>::infinity();
+};
+
+/// Token-bucket parameters for one tenant.  The defaults are generous
+/// enough to be "unlimited" in practice; soak/test configs tighten them.
+struct TenantQuota {
+  double burst = 1e9;            // bucket capacity (max stored tokens)
+  double refillPerSecond = 1e9;  // sustained request rate
+};
+
+struct AdmissionConfig {
+  /// Bounded queue depth; a request arriving when the queue is full is
+  /// rejected fast (or displaces a strictly-lower-priority entry).
+  std::size_t maxQueueDepth = 256;
+
+  /// Worker threads draining the queue into KernelService::compile.
+  int workers = 4;
+
+  /// Deadline applied to requests that carry none of their own; infinity
+  /// disables the default deadline.
+  double defaultDeadlineSeconds = std::numeric_limits<double>::infinity();
+
+  /// Quota for tenants without an explicit entry in `tenantQuotas`.
+  TenantQuota defaultQuota;
+  std::map<std::string, TenantQuota> tenantQuotas;
+
+  /// Circuit breakers: consecutive failures before a domain trips, and how
+  /// long it stays open before admitting one half-open probe.
+  int breakerFailureThreshold = 5;
+  double breakerCooldownSeconds = 1.0;
+};
+
+/// Classic token bucket with lazy refill.  `now` is any monotonic seconds
+/// value; only differences matter.  Not internally locked — TenantQuotas
+/// (and tests) serialize access.
+class TokenBucket {
+ public:
+  TokenBucket(TenantQuota quota, double now)
+      : quota_(quota), tokens_(quota.burst), lastRefill_(now) {}
+
+  /// Take `tokens` if available; false leaves the bucket untouched.
+  bool tryAcquire(double now, double tokens = 1.0);
+
+  /// Tokens currently available (after refilling up to `now`).
+  [[nodiscard]] double available(double now);
+
+ private:
+  void refill(double now);
+
+  TenantQuota quota_;
+  double tokens_;
+  double lastRefill_;
+};
+
+/// Thread-safe tenant → TokenBucket map, lazily populated from the
+/// config's per-tenant overrides (falling back to the default quota).
+class TenantQuotas {
+ public:
+  explicit TenantQuotas(const AdmissionConfig& config)
+      : defaultQuota_(config.defaultQuota), overrides_(config.tenantQuotas) {}
+
+  /// Acquire one token from `tenant`'s bucket; false = over quota.
+  bool tryAcquire(const std::string& tenant, double now);
+
+ private:
+  std::mutex mutex_;
+  TenantQuota defaultQuota_;
+  std::map<std::string, TenantQuota> overrides_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+/// Per-failure-domain circuit breaker.
+///
+/// Closed → normal traffic; `failureThreshold` consecutive failures trip
+/// it open (counted in trips() and the service.admission.breaker_trip
+/// metric).  Open → allowRequest() refuses until `cooldownSeconds`
+/// elapsed, then grants exactly one half-open probe; the probe's
+/// recordSuccess() closes the breaker, its recordFailure() re-opens it
+/// for another cooldown.  Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(std::string domain, int failureThreshold,
+                 double cooldownSeconds);
+
+  /// True when the caller may attempt the protected operation.  While
+  /// open past the cooldown, the first caller claims the half-open probe
+  /// slot (subsequent callers are refused until the probe reports back).
+  [[nodiscard]] bool allowRequest(double now);
+
+  void recordSuccess(double now);
+  void recordFailure(double now);
+
+  [[nodiscard]] State state(double now) const;
+  [[nodiscard]] std::int64_t trips() const;
+  [[nodiscard]] const std::string& domain() const { return domain_; }
+
+ private:
+  mutable std::mutex mutex_;
+  const std::string domain_;
+  const int failureThreshold_;
+  const double cooldownSeconds_;
+  int consecutiveFailures_ = 0;
+  bool open_ = false;
+  bool probeInFlight_ = false;
+  double openedAt_ = 0.0;
+  std::int64_t trips_ = 0;
+};
+
+[[nodiscard]] const char* toString(CircuitBreaker::State state);
+
+}  // namespace sw::service

@@ -372,6 +372,35 @@ std::vector<KernelService::BatchResult> KernelService::compileBatch(
   return results;
 }
 
+std::vector<KernelService::BatchResult> KernelService::compileManifest(
+    const std::string& manifestText) {
+  // Parse first: malformed lines become per-line errors (never aborting
+  // the batch), well-formed lines compile together on the worker pool.
+  std::vector<BatchResult> results;
+  std::vector<core::CodegenOptions> valid;
+  std::vector<std::size_t> validSlots;  // results index per valid request
+  std::istringstream manifest(manifestText);
+  std::string line;
+  for (int lineNumber = 1; std::getline(manifest, line); ++lineNumber) {
+    const std::size_t nonBlank = line.find_first_not_of(" \t\r");
+    if (nonBlank == std::string::npos || line[nonBlank] == '#') continue;
+    BatchResult result;
+    try {
+      result.options = parseManifestLine(line);
+      validSlots.push_back(results.size());
+      valid.push_back(result.options);
+    } catch (const Error& e) {
+      result.error = strCat("manifest line ", lineNumber, ": ", e.what());
+    }
+    results.push_back(std::move(result));
+  }
+
+  std::vector<BatchResult> compiled = compileBatch(valid);
+  for (std::size_t i = 0; i < compiled.size(); ++i)
+    results[validSlots[i]] = std::move(compiled[i]);
+  return results;
+}
+
 KernelServiceStats KernelService::stats() const {
   // The tune counters are guarded by tuneMutex_, the rest by mutex_;
   // lock order everywhere is tuneMutex_ before mutex_.
@@ -508,6 +537,9 @@ KernelService::ResilientRunResult KernelService::runResilient(
         "resilient run: every schedule rung failed to compile; last error: ",
         lastError));
   }
+  // The estimator carries no data: zero-fill C so the caller never sees
+  // the last failed attempt's partial writes as if they were a result.
+  std::fill(c.begin(), c.end(), 0.0);
   result.outcome = core::estimateGemm(*lastKernel, arch_, problem);
   result.servedOptions = lastKernel->options;
   result.usedEstimator = true;

@@ -154,6 +154,14 @@ class KernelService {
   std::vector<BatchResult> compileBatch(
       const std::vector<core::CodegenOptions>& requests);
 
+  /// Parse a whole batch manifest (one request per line, '#' comments and
+  /// blank lines skipped) and compile every well-formed line on the worker
+  /// pool.  Results align positionally with the manifest's request lines;
+  /// a malformed line does not abort the batch — its BatchResult carries
+  /// an error of the form "manifest line <N>: <diagnostic>" with the
+  /// 1-based physical line number and the offending token.
+  std::vector<BatchResult> compileManifest(const std::string& manifestText);
+
   /// One rung-to-rung downgrade runResilient took, oldest first.
   struct DegradeStep {
     std::string from;   // tier that failed ("asm-microkernel", ...)
@@ -164,8 +172,9 @@ class KernelService {
   struct ResilientRunResult {
     rt::RunOutcome outcome;
     /// The options of the schedule that actually produced `c` (equal to
-    /// the request when no downgrade happened); meaningless for data when
-    /// usedEstimator is true.
+    /// the request when no downgrade happened).  When usedEstimator is
+    /// true no schedule produced data: `c` is zero-filled and only the
+    /// timing in `outcome` is meaningful.
     core::CodegenOptions servedOptions;
     bool usedEstimator = false;
     std::vector<DegradeStep> degradations;
@@ -184,9 +193,9 @@ class KernelService {
   ///   asm-microkernel → naive compute+RMA → no-RMA schedule → estimator,
   /// re-running each rung against the untouched inputs.  Every downgrade
   /// is recorded in the result, `service.degrade.*` metrics and a trace
-  /// span; the terminal estimator rung provides timing only (c is left
-  /// with the last attempt's partial data — callers must treat it as
-  /// invalid when usedEstimator is set).
+  /// span; the terminal estimator rung provides timing only — `c` is
+  /// zero-filled so callers never mistake a failed attempt's partial
+  /// writes for a result (usedEstimator flags the condition).
   ResilientRunResult runResilient(const core::CodegenOptions& options,
                                   const core::GemmProblem& problem,
                                   std::span<const double> a,

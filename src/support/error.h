@@ -48,6 +48,47 @@ class TransientError : public Error {
   using Error::Error;
 };
 
+/// Why the serving layer refused to do the work.  Every overloaded request
+/// gets one of these back — requests are never silently dropped.
+enum class OverloadKind {
+  kQueueFull,        // admission queue at capacity (or displaced by a
+                     // higher-priority request)
+  kQuotaExhausted,   // the tenant's token bucket ran dry
+  kDeadlineExpired,  // the deadline had already passed at enqueue
+  kDeadlineMiss,     // the deadline passed while waiting in the queue
+  kCircuitOpen,      // the failure domain's circuit breaker is open
+  kShutdown,         // the frontend is draining; no new work accepted
+};
+
+[[nodiscard]] constexpr const char* toString(OverloadKind kind) {
+  switch (kind) {
+    case OverloadKind::kQueueFull: return "queue_full";
+    case OverloadKind::kQuotaExhausted: return "quota_exhausted";
+    case OverloadKind::kDeadlineExpired: return "deadline_expired";
+    case OverloadKind::kDeadlineMiss: return "deadline_miss";
+    case OverloadKind::kCircuitOpen: return "circuit_open";
+    case OverloadKind::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+/// Thrown by the admission layer when a request is shed instead of served:
+/// the queue is full, the tenant is over quota, the deadline cannot be met,
+/// or a circuit breaker is open.  Carries the shed reason and the tenant so
+/// callers (and tests) can react per cause without parsing the message.
+class OverloadError : public Error {
+ public:
+  OverloadError(OverloadKind kind, std::string tenant, std::string message)
+      : Error(std::move(message)), kind_(kind), tenant_(std::move(tenant)) {}
+
+  [[nodiscard]] OverloadKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& tenant() const { return tenant_; }
+
+ private:
+  OverloadKind kind_;
+  std::string tenant_;
+};
+
 [[noreturn]] inline void throwInternal(std::string message) {
   throw InternalError(std::move(message));
 }

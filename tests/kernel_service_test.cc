@@ -15,6 +15,7 @@
 
 #include "core/gemm_runner.h"
 #include "core/kernel_serdes.h"
+#include "core/pipeline.h"
 #include "service/kernel_service.h"
 #include "support/error.h"
 
@@ -313,6 +314,127 @@ TEST(KernelServiceTest, ManifestParsing) {
   EXPECT_EQ(warm[1].tileK, 32);
   EXPECT_THROW(parseWarmShapes(""), InputError);
   EXPECT_THROW(parseWarmShapes("64x64"), InputError);
+}
+
+TEST(KernelServiceTest, ManifestBatchKeepsLineNumbersForMalformedLines) {
+  const sunway::ArchConfig arch;
+  KernelServiceConfig config;
+  config.threads = 2;
+  KernelService service(arch, config);
+
+  // Physical lines 1-2 are a comment and a blank; the four request lines
+  // sit at lines 3-6 with the malformed ones in the middle.
+  const std::string manifest =
+      "# mixed manifest\n"
+      "\n"
+      "tile=64x64x32\n"
+      "frobnicate\n"
+      "tile=32x32x32 no-asm\n"
+      "tile=0x48x16\n";
+  const std::vector<KernelService::BatchResult> results =
+      service.compileManifest(manifest);
+
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].error.empty()) << results[0].error;
+  ASSERT_NE(results[0].kernel, nullptr);
+  EXPECT_EQ(results[0].options.tileM, 64);
+
+  // A malformed line fails alone, carrying its 1-based physical line
+  // number and the offending token — the valid lines around it compile.
+  EXPECT_EQ(results[1].kernel, nullptr);
+  EXPECT_NE(results[1].error.find("manifest line 4"), std::string::npos)
+      << results[1].error;
+  EXPECT_NE(results[1].error.find("frobnicate"), std::string::npos)
+      << results[1].error;
+
+  EXPECT_TRUE(results[2].error.empty()) << results[2].error;
+  ASSERT_NE(results[2].kernel, nullptr);
+  EXPECT_FALSE(results[2].options.useAsm);
+
+  EXPECT_EQ(results[3].kernel, nullptr);
+  EXPECT_NE(results[3].error.find("manifest line 6"), std::string::npos)
+      << results[3].error;
+}
+
+TEST(KernelServiceTest, FailedCompileClearsSingleFlightForRetry) {
+  // A compile that throws must erase its in-flight entry: the next request
+  // for the same key retries the pipeline instead of joining a dead
+  // shared future forever.
+  std::atomic<int> calls{0};
+  const sunway::ArchConfig arch;
+  KernelService service(
+      [&calls, arch](const core::CodegenOptions& options) {
+        if (calls.fetch_add(1) == 0)
+          throw TransientError("backend hiccup on the first attempt");
+        return core::SwGemmCompiler(arch).compile(options);
+      },
+      arch, {});
+
+  EXPECT_THROW(service.compile(tileVariant(64)), TransientError);
+  const KernelService::KernelPtr kernel = service.compile(tileVariant(64));
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(calls.load(), 2);  // retried, not served the stale failure
+}
+
+TEST(KernelServiceTest, FailedSearchClearsSingleFlightForRetry) {
+  const sunway::ArchConfig arch;
+  KernelService service(arch, {});
+  std::atomic<int> searches{0};
+  service.setSearchFnForTest(
+      [&searches](const core::CodegenOptions&, const sunway::ArchConfig&,
+                  const core::GemmProblem&, const tuning::TunerConfig&) {
+        if (searches.fetch_add(1) == 0)
+          throw TransientError("mesh unavailable during the search");
+        std::vector<tuning::CandidateResult> candidates(1);
+        candidates[0].feasible = true;
+        candidates[0].candidate.tileM = 32;
+        candidates[0].candidate.tileN = 32;
+        candidates[0].candidate.tileK = 32;
+        candidates[0].estimatedGflops = 123.0;
+        return tuning::ScheduleSearchResult(std::move(candidates));
+      });
+
+  const core::GemmProblem problem{96, 96, 96};
+  EXPECT_THROW(service.resolveSchedule(core::CodegenOptions{}, problem),
+               TransientError);
+  const KernelService::ResolvedSchedule resolved =
+      service.resolveSchedule(core::CodegenOptions{}, problem);
+  EXPECT_EQ(resolved.options.tileM, 32);
+  EXPECT_EQ(searches.load(), 2);  // the failed search did not wedge the key
+}
+
+TEST(KernelServiceTest, EstimatorRungZeroFillsC) {
+  // When every mesh rung fails, the terminal estimator rung must not leak
+  // the last failed attempt's partial writes: C is zero-filled.
+  const sunway::ArchConfig arch;
+  KernelService service(arch, {});
+  service.setRunFnForTest(
+      [](const core::CompiledKernel&, const core::GemmProblem&,
+         std::span<const double>, std::span<const double>,
+         std::span<double> c, const core::FunctionalRunConfig&)
+          -> rt::RunOutcome {
+        // Simulate a mesh that scribbles into C before dying.
+        if (!c.empty()) c[0] = 1234.5;
+        throw TransientError("mesh run failed");
+      });
+
+  const core::CodegenOptions options;
+  const KernelService::KernelPtr kernel = service.compile(options);
+  const core::PaddedShape shape =
+      core::padShape(1, 1, 1, kernel->options, service.arch());
+  const core::GemmProblem problem{shape.m, shape.n, shape.k, 1};
+  const std::vector<double> a(
+      static_cast<std::size_t>(shape.m * shape.k), 1.0);
+  const std::vector<double> b(
+      static_cast<std::size_t>(shape.k * shape.n), 1.0);
+  std::vector<double> c(static_cast<std::size_t>(shape.m * shape.n), 7.0);
+
+  const KernelService::ResilientRunResult result =
+      service.runResilient(options, problem, a, b, c);
+  EXPECT_TRUE(result.usedEstimator);
+  EXPECT_FALSE(result.degradations.empty());
+  for (const double v : c) ASSERT_EQ(v, 0.0);
+  EXPECT_GT(result.outcome.gflops, 0.0);  // timing is still meaningful
 }
 
 }  // namespace

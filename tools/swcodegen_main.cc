@@ -29,6 +29,7 @@
 #include "core/gemm_runner.h"
 #include "core/kernel_serdes.h"
 #include "service/kernel_service.h"
+#include "service/soak.h"
 #include "sunway/fault.h"
 #include "sunway/mesh.h"
 #include "support/digest.h"
@@ -107,7 +108,22 @@ void usage(std::FILE* out) {
       "  --serve-batch FILE compile every request in a manifest (one per\n"
       "                     line: tile=MxNxK strip=S batch no-asm no-rma\n"
       "                     no-hiding fuse=relu|quantize transA transB)\n"
-      "                     concurrently and report per-request latency\n"
+      "                     concurrently and report per-request latency;\n"
+      "                     malformed lines fail individually with their\n"
+      "                     line number, the rest of the batch still runs\n"
+      "  --soak N           replay N synthetic requests against the\n"
+      "                     admission frontend (Zipfian kernel popularity,\n"
+      "                     rotating tenants, bounded priority queue,\n"
+      "                     deadlines, per-tenant quotas); --inject runs as\n"
+      "                     chaos against periodically verified mesh runs,\n"
+      "                     --report json [PATH] emits the soak report\n"
+      "                     JSON, --profile appends the admission gauges;\n"
+      "                     no INPUT.c needed.  Exits nonzero on any\n"
+      "                     wrong-answer completion\n"
+      "  --soak-quota RATE  per-tenant token-bucket quota for --soak\n"
+      "                     (RATE tokens/s refill, burst = RATE); offered\n"
+      "                     load above the rate is shed with a typed\n"
+      "                     quota error\n"
       "  -j, --jobs N       worker threads for --warm/--serve-batch\n"
       "                     (default: hardware concurrency)\n"
       "  -h, --help         show this help and exit\n"
@@ -351,6 +367,77 @@ int runChaosSmoke(sw::service::KernelService& service,
   return 0;
 }
 
+/// --soak: replay synthetic traffic against the admission frontend and
+/// print the soak report (text always; JSON with --report json).  The
+/// --inject plan, when present, runs as chaos against periodically
+/// verified functional mesh runs.  Returns nonzero only when a verified
+/// run produced a wrong answer — shedding under overload is the expected
+/// behaviour, not a failure.
+int runSoakMode(sw::service::KernelService& service, long requests,
+                double quotaRate,
+                std::shared_ptr<const sw::sunway::FaultPlan> plan,
+                double watchdogMillis, long jobs, bool profile,
+                const std::string& reportMode,
+                const std::string& reportPath) {
+  sw::service::SoakConfig config;
+  config.requests = requests;
+  config.clientThreads = 4;
+  config.clientWindow = 64;
+  config.deadlineSeconds = 0.25;
+  if (plan != nullptr) {
+    config.chaosPlan = std::move(plan);
+    config.verifyEvery = 500;
+    if (watchdogMillis >= 0.0) config.watchdogMillis = watchdogMillis;
+  }
+  config.admission.maxQueueDepth = 128;
+  config.admission.workers = jobs > 0 ? static_cast<int>(jobs) : 4;
+  if (quotaRate > 0.0)
+    for (const std::string& tenant : config.tenants)
+      config.admission.tenantQuotas[tenant] =
+          sw::service::TenantQuota{quotaRate, quotaRate};
+
+  std::printf("soaking the admission frontend: %ld requests, %d workers, "
+              "queue depth %lld, deadline %.0f ms%s%s\n",
+              requests, config.admission.workers,
+              static_cast<long long>(config.admission.maxQueueDepth),
+              config.deadlineSeconds * 1e3,
+              quotaRate > 0.0 ? ", per-tenant quota" : "",
+              config.chaosPlan != nullptr ? ", chaos active" : "");
+  const sw::service::SoakReport report = sw::service::runSoak(service, config);
+  std::printf("%s", report.toText().c_str());
+
+  if (reportMode == "json") {
+    if (reportPath.empty()) {
+      std::printf("%s", report.toJson().c_str());
+    } else {
+      writeFile(reportPath, report.toJson());
+      std::printf("wrote json soak report to %s\n", reportPath.c_str());
+    }
+  }
+  if (profile) {
+    std::printf("\nmetrics registry:\n%s",
+                sw::metrics::formatMetricsTable(
+                    sw::metrics::MetricsRegistry::global().snapshot())
+                    .c_str());
+    const std::map<std::string, sw::metrics::Histogram> histograms =
+        sw::metrics::HistogramRegistry::global().snapshot();
+    if (!histograms.empty())
+      std::printf("\nlatency histograms:\n%s",
+                  sw::metrics::formatHistogramTable(histograms, "ms").c_str());
+    std::printf("\n");
+  }
+  if (report.wrongAnswers > 0) {
+    std::fprintf(stderr,
+                 "soak: result=WRONG-ANSWERS — %lld verified completions "
+                 "diverged from their fault-free baseline\n",
+                 static_cast<long long>(report.wrongAnswers));
+    return 1;
+  }
+  std::printf("soak: result=ok shed=%lld wrong=0\n",
+              static_cast<long long>(report.shed.total()));
+  return 0;
+}
+
 /// Strict positive-integer parse for CLI arguments; returns false on any
 /// non-numeric, overflowing or non-positive value.
 bool parsePositiveLong(const char* text, long* out) {
@@ -476,17 +563,14 @@ int runTuneMode(sw::service::KernelService& service,
   return 0;
 }
 
-/// --warm / --serve-batch: compile all requests on the worker pool and
-/// print the per-request serving report.
-int runBatchMode(sw::service::KernelService& service,
-                 const std::vector<sw::core::CodegenOptions>& requests) {
-  const double start =
-      sw::trace::Tracer::global().nowMicros();
-  const std::vector<sw::service::KernelService::BatchResult> results =
-      service.compileBatch(requests);
-  const double wallMs =
-      (sw::trace::Tracer::global().nowMicros() - start) / 1e3;
-
+/// --warm / --serve-batch: print the per-request serving report of a
+/// completed batch.  Failed requests (including manifest lines that did
+/// not parse — their error carries the 1-based line number) are listed
+/// individually; the exit code is nonzero when any request failed.
+int reportBatch(sw::service::KernelService& service,
+                const std::vector<sw::service::KernelService::BatchResult>&
+                    results,
+                double wallMs) {
   std::printf("%-4s %-16s %-12s %10s  %s\n", "#", "tile", "outcome",
               "ms", "key");
   int failures = 0;
@@ -537,6 +621,8 @@ int main(int argc, char** argv) {
   std::string reportPath;  // empty = stdout
   double watchdogMillis = -1.0;  // negative = library default
   long jobs = 0;
+  long soakRequests = 0;
+  double soakQuota = 0.0;  // 0 = effectively unlimited tenant quotas
   bool dumpSchedule = false;
   bool profile = false;
   bool noRma = false;
@@ -640,6 +726,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       batchManifestPath = argv[++i];
+    } else if (arg == "--soak") {
+      if (i + 1 >= argc || !parsePositiveLong(argv[i + 1], &soakRequests)) {
+        std::fprintf(stderr,
+                     "swcodegen: --soak requires a positive request count\n");
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--soak-quota") {
+      if (i + 1 >= argc ||
+          !parseNonNegativeDouble(argv[i + 1], &soakQuota) ||
+          soakQuota <= 0.0) {
+        std::fprintf(stderr,
+                     "swcodegen: --soak-quota requires a positive "
+                     "tokens-per-second rate\n");
+        return 2;
+      }
+      ++i;
     } else if (arg == "-j" || arg == "--jobs") {
       if (i + 1 >= argc || !parsePositiveLong(argv[i + 1], &jobs)) {
         std::fprintf(stderr,
@@ -725,8 +828,19 @@ int main(int argc, char** argv) {
   }
   const bool batchMode = !warmShapes.empty() || !batchManifestPath.empty();
   const bool tuneMode = !tuneShape.empty();
-  if (inputPath.empty() && !batchMode && !tuneMode) {
+  const bool soakMode = soakRequests > 0;
+  if (inputPath.empty() && !batchMode && !tuneMode && !soakMode) {
     usage(stderr);
+    return 2;
+  }
+  if (soakMode && (batchMode || tuneMode || !inputPath.empty())) {
+    std::fprintf(stderr,
+                 "swcodegen: --soak is a standalone mode; drop the INPUT.c "
+                 "/ --warm / --serve-batch / --tune arguments\n");
+    return 2;
+  }
+  if (soakQuota > 0.0 && !soakMode) {
+    std::fprintf(stderr, "swcodegen: --soak-quota requires --soak\n");
     return 2;
   }
   if (tuneMode && (batchMode || !inputPath.empty() || !injectSpec.empty() ||
@@ -800,24 +914,37 @@ int main(int argc, char** argv) {
       return rc;
     }
 
+    if (soakMode) {
+      const int rc =
+          runSoakMode(service, soakRequests, soakQuota, faultPlan,
+                      watchdogMillis, jobs, profile, reportMode, reportPath);
+      if (!tracePath.empty()) {
+        sw::trace::Tracer::global().writeFile(tracePath);
+        std::printf("wrote trace to %s (%zu events)\n", tracePath.c_str(),
+                    sw::trace::Tracer::global().eventCount());
+      }
+      return rc;
+    }
+
     if (batchMode) {
-      std::vector<sw::core::CodegenOptions> requests;
+      const double start = sw::trace::Tracer::global().nowMicros();
+      std::vector<sw::service::KernelService::BatchResult> results;
       if (!warmShapes.empty())
-        requests = sw::service::parseWarmShapes(warmShapes);
+        results = service.compileBatch(sw::service::parseWarmShapes(warmShapes));
       if (!batchManifestPath.empty()) {
-        std::istringstream manifest(readFile(batchManifestPath));
-        std::string line;
-        while (std::getline(manifest, line)) {
-          const std::size_t nonBlank = line.find_first_not_of(" \t\r");
-          if (nonBlank == std::string::npos || line[nonBlank] == '#')
-            continue;
-          requests.push_back(sw::service::parseManifestLine(line));
-        }
-        if (requests.empty())
+        // compileManifest keeps malformed lines in the batch as per-line
+        // failures (error = "manifest line <N>: ...") instead of aborting
+        // the valid requests around them.
+        std::vector<sw::service::KernelService::BatchResult> manifest =
+            service.compileManifest(readFile(batchManifestPath));
+        if (manifest.empty())
           throw sw::InputError("batch manifest '" + batchManifestPath +
                                "' contains no requests");
+        for (auto& r : manifest) results.push_back(std::move(r));
       }
-      const int rc = runBatchMode(service, requests);
+      const double wallMs =
+          (sw::trace::Tracer::global().nowMicros() - start) / 1e3;
+      const int rc = reportBatch(service, results, wallMs);
       if (!tracePath.empty()) {
         sw::trace::Tracer::global().writeFile(tracePath);
         std::printf("wrote trace to %s (%zu events)\n", tracePath.c_str(),
