@@ -268,6 +268,8 @@ void writeComputeInfo(Writer& w, const sched::ComputeMarkInfo& c) {
   w.num(c.m);
   w.num(c.n);
   w.num(c.k);
+  w.num(c.mr);
+  w.num(c.nr);
   writeComputeClamp(w, c.clampM);
   writeComputeClamp(w, c.clampN);
   writeComputeClamp(w, c.clampK);
@@ -284,6 +286,8 @@ sched::ComputeMarkInfo readComputeInfo(Reader& r) {
   c.m = r.num();
   c.n = r.num();
   c.k = r.num();
+  c.mr = static_cast<int>(r.num());
+  c.nr = static_cast<int>(r.num());
   c.clampM = readComputeClamp(r);
   c.clampN = readComputeClamp(r);
   c.clampK = readComputeClamp(r);
@@ -424,6 +428,8 @@ void writeOptions(Writer& w, const CodegenOptions& o) {
   w.num(o.tileN);
   w.num(o.tileK);
   w.num(o.stripFactor);
+  w.num(o.microMr);
+  w.num(o.microNr);
   w.boolean(o.edgeTiles);
 }
 
@@ -443,6 +449,8 @@ CodegenOptions readOptions(Reader& r) {
   o.tileN = r.num();
   o.tileK = r.num();
   o.stripFactor = r.num();
+  o.microMr = static_cast<int>(r.num());
+  o.microNr = static_cast<int>(r.num());
   o.edgeTiles = r.boolean();
   return o;
 }

@@ -18,7 +18,7 @@ namespace sw::core {
 /// Bumped whenever the serialized layout of CompiledKernel (or anything it
 /// embeds) changes; readers reject other versions so a stale disk cache is
 /// recompiled instead of misparsed.
-inline constexpr int kKernelSerdesVersion = 2;
+inline constexpr int kKernelSerdesVersion = 3;
 
 /// Serialize the whole kernel: options, the executable program AST, the
 /// generated CPE/MPE sources and the three schedule-tree dumps.

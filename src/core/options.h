@@ -47,6 +47,13 @@ struct CodegenOptions {
   /// Strip-mining factor of the reduced dimension = mesh width (§3.2).
   std::int64_t stripFactor = 8;
 
+  /// Register-block shape of the generated micro-kernel family (Exo-style
+  /// MR x NR variants; kernel::microKernelFamily() is the feasible set).
+  /// The default (4, 8) matches the vendor routine's block and keeps the
+  /// historical timing calibration exactly.
+  int microMr = 4;
+  int microNr = 8;
+
   /// Edge-tile codegen (--pad-mode=edge): emit runtime clamps on DMA
   /// extents and micro-kernel shapes so arbitrary (non-tile-multiple)
   /// M/N/K run directly on unpadded host arrays, retiring the §8.1

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "codegen/program_builder.h"
+#include "kernel/microkernel.h"
 #include "poly/dependence.h"
 #include "schedule/transforms.h"
 #include "support/error.h"
@@ -533,6 +534,14 @@ PipelineResult runGemmPipeline(const CodegenOptions& options,
   computeInfo.m = options.tileM;
   computeInfo.n = options.tileN;
   computeInfo.k = options.tileK;
+  // The micro-kernel is generated per (MR, NR) register block nowadays;
+  // an off-family request is a usage error, not a silent fallback.
+  if (!kernel::isFeasibleMicroKernelVariant(options.microMr, options.microNr))
+    throw InputError(strCat(
+        "micro-kernel register block ", options.microMr, "x", options.microNr,
+        " is outside the generated family; see kernel::microKernelFamily()"));
+  computeInfo.mr = options.microMr;
+  computeInfo.nr = options.microNr;
   computeInfo.c = SpmBufferRef{"C", std::nullopt, 0};
   const std::optional<std::string> kiPhase =
       options.hideLatency ? std::optional<std::string>("ki") : std::nullopt;

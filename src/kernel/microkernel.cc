@@ -86,15 +86,14 @@ void blockedKernel(double* __restrict c, const double* __restrict a,
     }
 }
 
-}  // namespace
-
-void dgemmMicroKernel(double* c, const double* a, const double* b,
-                      std::int64_t m, std::int64_t n, std::int64_t k) {
-  constexpr int MR = 4;
-  constexpr int NR = 8;
-  // The vendor contract shape gets the packed-B, fully unrolled path; the
-  // half-size tile (used by fused/strip-mined schedules) gets a static
-  // shape of its own.  Both accumulate identically to the generic path.
+/// Per-variant shape dispatch: the vendor contract shape gets the
+/// packed-B, fully unrolled path; the half-size tile (used by
+/// fused/strip-mined schedules) gets a static shape of its own.  All
+/// paths accumulate identically to the generic one (per-element order is
+/// k-ascending with a single add to C regardless of block traversal).
+template <int MR, int NR>
+void variantKernel(double* c, const double* a, const double* b,
+                   std::int64_t m, std::int64_t n, std::int64_t k) {
   if (m == kMicroM && n == kMicroN && k == kMicroK) {
     fixedShapeKernel<64, 64, 32, MR, NR>(c, a, b);
     return;
@@ -104,6 +103,55 @@ void dgemmMicroKernel(double* c, const double* a, const double* b,
     return;
   }
   blockedKernel<MR, NR>(c, a, b, m, n, k);
+}
+
+// Every family member divides the 64x64 and 32x32 contract tiles, so the
+// fixedShapeKernel static_assert holds for each instantiation below.
+#define SW_MICRO_KERNEL_FAMILY(X) \
+  X(4, 8)                         \
+  X(2, 8)                         \
+  X(2, 16)                        \
+  X(4, 4)                         \
+  X(4, 16)                        \
+  X(8, 4)                         \
+  X(8, 8)
+
+}  // namespace
+
+const std::vector<MicroKernelVariant>& microKernelFamily() {
+  static const std::vector<MicroKernelVariant> family = {
+#define SW_FAMILY_ENTRY(MR, NR) MicroKernelVariant{MR, NR},
+      SW_MICRO_KERNEL_FAMILY(SW_FAMILY_ENTRY)
+#undef SW_FAMILY_ENTRY
+  };
+  return family;
+}
+
+bool isFeasibleMicroKernelVariant(int mr, int nr) {
+#define SW_FAMILY_MATCH(MR, NR) \
+  if (mr == MR && nr == NR) return true;
+  SW_MICRO_KERNEL_FAMILY(SW_FAMILY_MATCH)
+#undef SW_FAMILY_MATCH
+  return false;
+}
+
+void dgemmMicroKernel(double* c, const double* a, const double* b,
+                      std::int64_t m, std::int64_t n, std::int64_t k) {
+  variantKernel<kDefaultMicroMr, kDefaultMicroNr>(c, a, b, m, n, k);
+}
+
+void dgemmMicroKernelVariant(double* c, const double* a, const double* b,
+                             std::int64_t m, std::int64_t n, std::int64_t k,
+                             int mr, int nr) {
+#define SW_FAMILY_DISPATCH(MR, NR)          \
+  if (mr == MR && nr == NR) {               \
+    variantKernel<MR, NR>(c, a, b, m, n, k); \
+    return;                                 \
+  }
+  SW_MICRO_KERNEL_FAMILY(SW_FAMILY_DISPATCH)
+#undef SW_FAMILY_DISPATCH
+  // Unknown variants compute the same bits with the default block.
+  variantKernel<kDefaultMicroMr, kDefaultMicroNr>(c, a, b, m, n, k);
 }
 
 void dgemmNaiveKernel(double* c, const double* a, const double* b,

@@ -1,9 +1,15 @@
 // Compute kernels executed inside a CPE's SPM.
 //
-// dgemmMicroKernel is the stand-in for the vendor's inline-assembly
-// 64x64x32 routine (§7.2): same shape contract (C 64x64 += A 64x32 * B
-// 32x64, all tiles contiguous row-major in SPM), implemented with register
-// blocking and unrolling so the host compiler emits FMA-vectorised code.
+// The micro-kernel is no longer a single hand-written routine: it is a
+// *family* of MR x NR register-blocked variants (Exo-style generation),
+// all sharing the vendor contract (C m x n += A m x k * B k x n, tiles
+// contiguous row-major in SPM) and the bit-identity invariant — each C
+// element accumulates over k ascending into a register and is added to
+// memory exactly once, so every family member produces bit-identical
+// results for the same inputs.  The tuner co-searches the schedule and
+// the (MR, NR) choice; the timing model rates each variant through
+// ArchConfig::microKernelEfficiency.
+//
 // The contract shape dispatches to a fully static MRxNR-templated kernel
 // with a packed, cache-line-aligned B panel (unit-stride inner loop);
 // other shapes fall back to a runtime-bound blocked nest.
@@ -15,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace sw::kernel {
 
@@ -23,10 +30,37 @@ inline constexpr std::int64_t kMicroM = 64;
 inline constexpr std::int64_t kMicroN = 64;
 inline constexpr std::int64_t kMicroK = 32;
 
+/// The register-block shape the vendor routine uses; the family default.
+inline constexpr int kDefaultMicroMr = 4;
+inline constexpr int kDefaultMicroNr = 8;
+
+/// One member of the generated micro-kernel family.
+struct MicroKernelVariant {
+  int mr = kDefaultMicroMr;
+  int nr = kDefaultMicroNr;
+};
+
+/// The feasible MR x NR family: register blocks whose accumulator tile,
+/// A broadcasts and B row fit the CPE's 32-vector-register file, with NR
+/// a multiple of the 4-wide half-vector so the inner loop vectorises.
+/// The default (4, 8) is always the first entry.
+const std::vector<MicroKernelVariant>& microKernelFamily();
+
+/// Whether (mr, nr) names a member of the generated family.
+bool isFeasibleMicroKernelVariant(int mr, int nr);
+
 /// C[m x n] += A[m x k] * B[k x n]; contiguous row-major tiles.
-/// Optimised register-blocked implementation (the "assembly" routine).
+/// Optimised register-blocked implementation (the "assembly" routine),
+/// equivalent to dgemmMicroKernelVariant at the default (4, 8) block.
 void dgemmMicroKernel(double* c, const double* a, const double* b,
                       std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Family dispatch: the same contract computed with an (mr, nr) register
+/// block.  Throws nothing; an unknown variant falls back to the default
+/// block, which is bit-identical anyway.
+void dgemmMicroKernelVariant(double* c, const double* a, const double* b,
+                             std::int64_t m, std::int64_t n, std::int64_t k,
+                             int mr, int nr);
 
 /// Same contract, deliberately naive triple loop (--no-use-asm).
 void dgemmNaiveKernel(double* c, const double* a, const double* b,

@@ -1,0 +1,32 @@
+// Exo-style C source generator for the MR x NR micro-kernel family.
+//
+// emitMicroKernelC prints a self-contained, -Wall -Werror-clean C99
+// function implementing the same register-blocked contract as
+// dgemmMicroKernelVariant: C[m x n] += A[m x k] * B[k x n], contiguous
+// row-major tiles, each C element accumulated over k ascending and added
+// to memory exactly once.  The block shape is baked in as enum constants
+// so the C compiler fully unrolls the register tile — the generated text
+// is what the athread printer embeds for non-default variants and what
+// the native JIT engine compiles into the host shared object.
+//
+// Bit-identity with the C++ family holds by construction: the traversal
+// order of independent (MR, NR) blocks does not affect any C element's
+// accumulation sequence.
+#pragma once
+
+#include <string>
+
+namespace sw::kernel {
+
+/// C source of one family member.  `name` is the emitted function name
+/// (e.g. "dgemm_mk_4x8"); `asStatic` marks it `static` for single-TU use.
+/// The signature is
+///   void name(double *restrict c, const double *restrict a,
+///             const double *restrict b, long m, long n, long k);
+std::string emitMicroKernelC(int mr, int nr, const std::string& name,
+                             bool asStatic);
+
+/// Canonical emitted-function name for a variant: "dgemm_mk_<mr>x<nr>".
+std::string microKernelFunctionName(int mr, int nr);
+
+}  // namespace sw::kernel

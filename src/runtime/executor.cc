@@ -21,6 +21,8 @@ std::int64_t paramOrZero(const std::map<std::string, std::int64_t>& params,
   return it == params.end() ? 0 : it->second;
 }
 
+}  // namespace
+
 perf::PerfReport buildRunReport(
     const codegen::KernelProgram& program, const std::string& engine,
     const std::map<std::string, std::int64_t>& params, double wallSeconds,
@@ -53,8 +55,6 @@ perf::PerfReport buildRunReport(
   sample.dmaRetries = totals.dmaRetries;
   return perf::buildPerfReport(sample, machineModelFromArch(config));
 }
-
-}  // namespace
 
 perf::MachineModel machineModelFromArch(const sunway::ArchConfig& config) {
   perf::MachineModel machine;
@@ -132,6 +132,7 @@ RunOutcome runOnMesh(sunway::MeshSimulator& mesh,
           runCpeProgram(program, params, scalars, services);
       });
   RunOutcome outcome;
+  outcome.engine = plan != nullptr ? "plan" : "tree";
   outcome.seconds = meshResult.seconds;
   outcome.gflops = metrics::safeDiv(reportedFlops, meshResult.seconds) / 1e9;
   outcome.counters = meshResult.totals;
@@ -173,6 +174,7 @@ RunOutcome estimateTiming(const sunway::ArchConfig& config,
   else
     runCpeProgram(program, params, ExecScalars{}, services);
   RunOutcome outcome;
+  outcome.engine = plan != nullptr ? "plan" : "tree";
   outcome.seconds = services.totalSeconds();
   outcome.gflops = metrics::safeDiv(reportedFlops, outcome.seconds) / 1e9;
   outcome.counters = services.counters();

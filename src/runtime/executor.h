@@ -19,16 +19,27 @@ namespace sw::rt {
 struct ExecutionPlan;
 
 /// Which per-CPE engine executes the program: the lowered register-machine
-/// plan (default whenever a plan is supplied) or the legacy tree-walking
-/// interpreter (the reference semantics).
+/// plan (default whenever a plan is supplied), the legacy tree-walking
+/// interpreter (the reference semantics), or the native JIT engine
+/// (src/jit): the program compiled to a host shared object and executed as
+/// real machine code, bit-identical results and discrete counters but no
+/// simulated timing.
 enum class ExecEngine {
   kPlan,
   kTreeWalk,
+  kNative,
 };
 
 struct RunOutcome {
   double seconds = 0.0;
   double gflops = 0.0;
+  /// Engine that produced this outcome: "plan", "tree" or "native".  For
+  /// "native", `seconds`/`gflops` are measured wall-clock quantities and
+  /// the timing counters are zero; everything else is simulated time.
+  std::string engine = "plan";
+  /// Native engine only: the JIT shared object was reused from the
+  /// persistent cache (no compiler invocation).
+  bool jitCacheHit = false;
   sunway::CpeCounters counters;
   /// Derived gauges (overlap %, stall %, SPM high-water vs. budget,
   /// per-buffer bytes); filled by runOnMesh / estimateTiming.
@@ -47,6 +58,14 @@ struct RunOutcome {
 /// peak GFLOPS at the asm micro-kernel rate, aggregate DDR bandwidth, and
 /// per-broadcast RMA bandwidth.
 [[nodiscard]] perf::MachineModel machineModelFromArch(
+    const sunway::ArchConfig& config);
+
+/// Build one run's PerfReport from its aggregate counters; shared by the
+/// mesh, estimator and native (src/jit) engines.
+[[nodiscard]] perf::PerfReport buildRunReport(
+    const codegen::KernelProgram& program, const std::string& engine,
+    const std::map<std::string, std::int64_t>& params, double wallSeconds,
+    int cpeCount, double reportedFlops, const sunway::CpeCounters& totals,
     const sunway::ArchConfig& config);
 
 /// Compute the derived gauges from one run's aggregate counters.

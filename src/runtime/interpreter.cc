@@ -260,9 +260,10 @@ class Interpreter {
     if (m <= 0 || n <= 0 || k <= 0) return;
     const double flops = 2.0 * static_cast<double>(m) *
                          static_cast<double>(n) * static_cast<double>(k);
-    services_.computeTime(flops, info.kind == ComputeMarkInfo::Kind::kAsm
-                                     ? sunway::ComputeRate::kAsmKernel
-                                     : sunway::ComputeRate::kNaive);
+    if (info.kind == ComputeMarkInfo::Kind::kAsm)
+      services_.computeTimeMicro(flops, info.mr, info.nr);
+    else
+      services_.computeTime(flops, sunway::ComputeRate::kNaive);
     if (!services_.functional()) return;
     double* c = services_.spmPtr(resolveBuffer(info.c));
     double* a = services_.spmPtr(resolveBuffer(info.a));
@@ -275,7 +276,8 @@ class Interpreter {
       return;
     }
     if (info.kind == ComputeMarkInfo::Kind::kAsm)
-      kernel::dgemmMicroKernel(c, a, b, info.m, info.n, info.k);
+      kernel::dgemmMicroKernelVariant(c, a, b, info.m, info.n, info.k,
+                                      info.mr, info.nr);
     else
       kernel::dgemmNaiveKernel(c, a, b, info.m, info.n, info.k);
   }

@@ -247,6 +247,8 @@ class Lowerer {
     const ComputeMarkInfo& info = op.info;
     PlanCompute c;
     c.isAsm = info.kind == ComputeMarkInfo::Kind::kAsm;
+    c.mr = info.mr;
+    c.nr = info.nr;
     c.m = info.m;
     c.n = info.n;
     c.k = info.k;
@@ -553,8 +555,10 @@ class PlanExecutor {
       flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
               static_cast<double>(k);
     }
-    services_.computeTime(flops, c.isAsm ? sunway::ComputeRate::kAsmKernel
-                                         : sunway::ComputeRate::kNaive);
+    if (c.isAsm)
+      services_.computeTimeMicro(flops, c.mr, c.nr);
+    else
+      services_.computeTime(flops, sunway::ComputeRate::kNaive);
     if (!functional_) return;
     double* cp = services_.spmPtr(resolveBuffer(c.c));
     double* ap = services_.spmPtr(resolveBuffer(c.a));
@@ -567,7 +571,7 @@ class PlanExecutor {
       return;
     }
     if (c.isAsm)
-      kernel::dgemmMicroKernel(cp, ap, bp, c.m, c.n, c.k);
+      kernel::dgemmMicroKernelVariant(cp, ap, bp, c.m, c.n, c.k, c.mr, c.nr);
     else
       kernel::dgemmNaiveKernel(cp, ap, bp, c.m, c.n, c.k);
   }

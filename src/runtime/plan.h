@@ -129,6 +129,8 @@ struct PlanWait {
 
 struct PlanCompute {
   bool isAsm = true;
+  /// Register-block variant of the generated micro-kernel (kAsm only).
+  int mr = 4, nr = 8;
   std::int64_t m = 0, n = 0, k = 0;
   double flops = 0.0;
   PlanBufferRef a, b, c;

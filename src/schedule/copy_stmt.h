@@ -116,6 +116,11 @@ struct ComputeMarkInfo {
   SpmBufferRef b;  // right operand tile in SPM
   SpmBufferRef c;  // accumulator tile in SPM
   std::int64_t m = 64, n = 64, k = 32;  // tile shape contract
+  /// Register-block shape of the generated micro-kernel variant serving
+  /// this compute (kAsm only; ignored for kNaive).  The default (4, 8) is
+  /// the vendor routine's block.
+  int mr = 4;
+  int nr = 8;
   /// Edge-tile mode: runtime clamps per dimension.  When every effective
   /// extent equals the full tile the asm contract kernel runs unchanged;
   /// any partial extent dispatches to the strided edge kernel (the SPM

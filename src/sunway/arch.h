@@ -94,6 +94,32 @@ struct ArchConfig {
                                          double efficiency = 1.0) const {
     return flops / (cpeFrequencyHz * flopsPerCycle * efficiency);
   }
+
+  /// Sustained-efficiency model for a generated MR x NR micro-kernel
+  /// variant, calibrated so the vendor block (4, 8) returns
+  /// asmKernelEfficiency exactly (timing baselines are unchanged at the
+  /// default).  Off-default blocks pay for empty SIMD lanes (NR not a
+  /// multiple of the 8-wide vector), too few rows in flight to hide FMA
+  /// latency (MR < 4), register pressure past the 32-entry file, and
+  /// drift from the 32-element sweet spot.
+  [[nodiscard]] double microKernelEfficiency(int mr, int nr) const {
+    if (mr == 4 && nr == 8) return asmKernelEfficiency;
+    if (mr <= 0 || nr <= 0) return asmKernelEfficiency;
+    const double simdLanes = 8.0;
+    const double vectors =
+        static_cast<double>((nr + static_cast<int>(simdLanes) - 1) /
+                            static_cast<int>(simdLanes));
+    const double vectorUtil = static_cast<double>(nr) / (simdLanes * vectors);
+    const double latencyHide = mr >= 4 ? 1.0 : 0.7 + 0.075 * mr;
+    const int regsNeeded = mr * static_cast<int>(vectors) + mr + 2;
+    const double pressure = regsNeeded > 30 ? 0.97 : 1.0;
+    const double ops = static_cast<double>(mr) * static_cast<double>(nr);
+    double balance = ops / 32.0;
+    if (balance < 1.0) balance = 1.0 / balance;
+    double drift = 1.0;
+    for (double b = balance; b >= 2.0; b /= 2.0) drift -= 0.004;
+    return asmKernelEfficiency * vectorUtil * latencyHide * pressure * drift;
+  }
 };
 
 }  // namespace sw::sunway

@@ -158,6 +158,20 @@ class SymmetricCpeServices final : public CpeServices {
     counters_.computeSeconds += seconds;
   }
 
+  void computeTimeMicro(double flops, int mr, int nr) override {
+    const double seconds = config_.cpeComputeSeconds(
+        flops, config_.cpeFlopsPerCycle,
+        config_.microKernelEfficiency(mr, nr));
+    ++counters_.microKernelCalls;
+    counters_.flops += flops;
+    if (tracing_)
+      trace::Tracer::global().simSpan(trace::kEstimatorPid, 0, "microkernel",
+                                      "compute", clock_, clock_ + seconds,
+                                      {trace::arg("flops", flops)});
+    clock_ += seconds;
+    counters_.computeSeconds += seconds;
+  }
+
   [[nodiscard]] double* spmPtr(std::int64_t) override { return nullptr; }
   [[nodiscard]] double clockSeconds() const override { return clock_; }
   [[nodiscard]] const CpeCounters& counters() const override {

@@ -674,6 +674,20 @@ class ThreadedCpeServices final : public CpeServices {
     counters_.computeSeconds += seconds;
   }
 
+  void computeTimeMicro(double flops, int mr, int nr) override {
+    const double seconds = mesh_.config_.cpeComputeSeconds(
+        flops, mesh_.config_.cpeFlopsPerCycle,
+        mesh_.config_.microKernelEfficiency(mr, nr));
+    ++counters_.microKernelCalls;
+    counters_.flops += flops;
+    if (tracing_)
+      trace::Tracer::global().simSpan(trace::kMeshPid, cpeId_, "microkernel",
+                                      "compute", clock_, clock_ + seconds,
+                                      {trace::arg("flops", flops)});
+    clock_ += seconds;
+    counters_.computeSeconds += seconds;
+  }
+
   [[nodiscard]] double* spmPtr(std::int64_t offsetBytes) override {
     if (!mesh_.functional_) return nullptr;
     return spmPtrOf(cpeId_, offsetBytes);

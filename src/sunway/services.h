@@ -174,6 +174,18 @@ class CpeServices {
   /// the functional runtime performs the math separately via spmPtr data).
   virtual void computeTime(double flops, ComputeRate rate) = 0;
 
+  /// Variant-aware micro-kernel accounting: same counters as
+  /// computeTime(flops, kAsmKernel), but the rate reflects the generated
+  /// (mr, nr) register block (ArchConfig::microKernelEfficiency).  The
+  /// base default ignores the variant so test doubles keep working; the
+  /// mesh and estimator override it.  At the default (4, 8) block every
+  /// implementation must charge exactly the kAsmKernel rate.
+  virtual void computeTimeMicro(double flops, int mr, int nr) {
+    (void)mr;
+    (void)nr;
+    computeTime(flops, ComputeRate::kAsmKernel);
+  }
+
   /// Pointer into this CPE's SPM at `offsetBytes` (element-aligned);
   /// nullptr in timing-only mode.
   [[nodiscard]] virtual double* spmPtr(std::int64_t offsetBytes) = 0;

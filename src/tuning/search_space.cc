@@ -3,6 +3,7 @@
 #include <set>
 
 #include "core/pipeline.h"
+#include "kernel/microkernel.h"
 #include "support/format.h"
 
 namespace sw::tuning {
@@ -14,12 +15,15 @@ core::CodegenOptions ScheduleCandidate::apply(core::CodegenOptions base) const {
   base.stripFactor = stripFactor;
   base.edgeTiles = edgeTiles;
   base.hideLatency = bufferDepth == 2;
+  base.microMr = microMr;
+  base.microNr = microNr;
   return base;
 }
 
 std::string ScheduleCandidate::label() const {
   return strCat(tileM, "x", tileN, "x", tileK, "/s", stripFactor, "/d",
-                bufferDepth, edgeTiles ? "/edge" : "/pad");
+                bufferDepth, edgeTiles ? "/edge" : "/pad", "/mk", microMr,
+                "x", microNr);
 }
 
 bool ScheduleCandidate::hasAsmKernel(const core::CodegenOptions& base) const {
@@ -80,6 +84,13 @@ EnumeratedCandidate judge(const ScheduleCandidate& candidate,
         "SPM working set ", entry.spmBytesNeeded, " bytes exceeds the SPM "
         "budget of ", arch.spmBytes, " bytes at buffer depth ",
         candidate.bufferDepth);
+    return entry;
+  }
+  if (!kernel::isFeasibleMicroKernelVariant(candidate.microMr,
+                                            candidate.microNr)) {
+    entry.pruneReason = strCat(
+        "micro-kernel register block ", candidate.microMr, "x",
+        candidate.microNr, " is outside the generated family (§7.2)");
     return entry;
   }
   entry.feasible = true;
@@ -144,6 +155,19 @@ std::vector<EnumeratedCandidate> enumerateCandidates(
               !shapeDivisible(candidate.apply(base), arch, problem)) {
             candidate.edgeTiles = true;
             push(candidate);
+            candidate.edgeTiles = false;
+          }
+          // Micro-kernel co-search: on asm-capable tile points the MR x NR
+          // register block is a real schedule axis (the generated family
+          // replaces the single fixed vendor routine); elsewhere the naive
+          // kernel ignores it and the axis would only duplicate points.
+          if (candidate.hasAsmKernel(base)) {
+            for (const kernel::MicroKernelVariant& variant :
+                 kernel::microKernelFamily()) {
+              candidate.microMr = variant.mr;
+              candidate.microNr = variant.nr;
+              push(candidate);
+            }
           }
         }
       }

@@ -39,6 +39,11 @@ struct ScheduleCandidate {
   int bufferDepth = 2;
   /// Edge-tile clamps (PR 5) instead of the §8.1 zero-padding convention.
   bool edgeTiles = false;
+  /// MR x NR register block of the asm micro-kernel family
+  /// (kernel/microkernel.h); only meaningful on asm-capable tile points,
+  /// where the enumerator co-searches the family.
+  int microMr = 4;
+  int microNr = 8;
 
   /// Overlay this candidate onto `base`, leaving every non-schedule field
   /// (asm, RMA, fusion, transposes, batching) untouched.  bufferDepth == 2
@@ -46,7 +51,8 @@ struct ScheduleCandidate {
   /// forbids it (no RMA / hiding disabled).
   [[nodiscard]] core::CodegenOptions apply(core::CodegenOptions base) const;
 
-  /// "64x64x32/s8/d2/pad" — tile, strip factor, buffer depth, edge mode.
+  /// "64x64x32/s8/d2/pad/mk4x8" — tile, strip factor, buffer depth, edge
+  /// mode, micro-kernel register block.
   [[nodiscard]] std::string label() const;
 
   /// Whether this tile matches the vendor micro-kernel contract (§7.2:

@@ -181,6 +181,8 @@ std::string TuningDb::renderRecord(const std::string& key,
   num("buffer_depth", record.schedule.bufferDepth);
   out += strCat(",\"edge_tiles\":",
                 record.schedule.edgeTiles ? "true" : "false");
+  num("micro_mr", record.schedule.microMr);
+  num("micro_nr", record.schedule.microNr);
   real("gflops", record.gflops);
   real("measured_gflops", record.measuredGflops);
   str("verdict", record.verdict);
@@ -226,6 +228,10 @@ std::optional<TunedScheduleRecord> TuningDb::lookup(const std::string& key) {
     record.schedule.bufferDepth =
         static_cast<int>(parseIntField(content, "buffer_depth"));
     record.schedule.edgeTiles = parseBoolField(content, "edge_tiles");
+    record.schedule.microMr =
+        static_cast<int>(parseIntField(content, "micro_mr"));
+    record.schedule.microNr =
+        static_cast<int>(parseIntField(content, "micro_nr"));
     record.gflops = parseDoubleField(content, "gflops");
     record.measuredGflops = parseDoubleField(content, "measured_gflops");
     record.verdict = parseStringField(content, "verdict");
@@ -240,6 +246,7 @@ std::optional<TunedScheduleRecord> TuningDb::lookup(const std::string& key) {
         record.schedule.tileK <= 0 || record.schedule.stripFactor <= 0 ||
         (record.schedule.bufferDepth != 1 &&
          record.schedule.bufferDepth != 2) ||
+        record.schedule.microMr <= 0 || record.schedule.microNr <= 0 ||
         record.gflops < 0.0)
       throwInput("tuning record carries an out-of-range schedule");
     ++stats_.hits;

@@ -1,0 +1,247 @@
+// Failure paths of the native JIT engine (src/jit/native_engine.*): every
+// environmental problem — unwritable cache directory, missing compiler,
+// corrupt on-disk artifact — must surface as TransientError (or degrade
+// to the plan engine through runGemmFunctional), never as a wrong answer,
+// and concurrent first-use of one digest must compile exactly once.
+// Semantic equivalence of the engine itself is pinned by
+// plan_equivalence_test.cc; this file covers the unhappy paths.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/gemm_runner.h"
+#include "jit/native_engine.h"
+#include "support/error.h"
+#include "support/metrics.h"
+
+namespace sw::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<double> randomMatrix(std::int64_t count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> data(static_cast<std::size_t>(count));
+  for (double& v : data) v = dist(rng);
+  return data;
+}
+
+/// Fresh per-test scratch directory under the gtest temp root.
+std::string scratchDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("swk_jit_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// A zero-work NativeRunInput matching `program`'s arity: every parameter
+/// is 0, so all generated loops run zero iterations.  Used by tests whose
+/// failure fires before (or without) real execution.
+jit::NativeRunInput zeroInputFor(const codegen::KernelProgram& program,
+                                 std::vector<std::vector<double>>& storage) {
+  jit::NativeRunInput input;
+  input.params.assign(program.params.size(), 0);
+  storage.assign(program.arrays.size(), std::vector<double>(64, 0.0));
+  for (std::vector<double>& array : storage)
+    input.arrays.push_back(array.data());
+  return input;
+}
+
+/// Scoped override of one environment variable, restored on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      ::setenv(name_.c_str(), saved_.c_str(), /*overwrite=*/1);
+    else
+      ::unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(JitEngine, UnwritableCacheDirIsTransient) {
+  jit::resetNativeEngineForTest();
+  SwGemmCompiler compiler;
+  const CompiledKernel kernel = compiler.compile(CodegenOptions{});
+
+  // Point the cache root at a regular file: create_directories and the
+  // source write both fail, which must surface as TransientError.
+  const std::string root = scratchDir("unwritable");
+  const std::string blocker = root + "/not-a-directory";
+  { std::ofstream out(blocker); out << "x"; }
+  jit::NativeEngineConfig config;
+  config.cacheDir = blocker;
+
+  std::vector<std::vector<double>> storage;
+  const jit::NativeRunInput input = zeroInputFor(kernel.program, storage);
+  EXPECT_THROW(jit::runNative(kernel.program, config, input),
+               TransientError);
+}
+
+TEST(JitEngine, MissingCompilerIsTransient) {
+  jit::resetNativeEngineForTest();
+  SwGemmCompiler compiler;
+  const CompiledKernel kernel = compiler.compile(CodegenOptions{});
+
+  jit::NativeEngineConfig config;
+  config.cacheDir = scratchDir("nocc");
+  config.compiler = "/nonexistent/swcodegen-test-cc";
+  EXPECT_EQ(jit::resolveNativeCompiler(config),
+            "/nonexistent/swcodegen-test-cc");
+
+  std::vector<std::vector<double>> storage;
+  const jit::NativeRunInput input = zeroInputFor(kernel.program, storage);
+  EXPECT_THROW(jit::runNative(kernel.program, config, input),
+               TransientError);
+}
+
+TEST(JitEngine, WrongArityIsInputErrorNotTransient) {
+  jit::resetNativeEngineForTest();
+  SwGemmCompiler compiler;
+  const CompiledKernel kernel = compiler.compile(CodegenOptions{});
+  jit::NativeEngineConfig config;
+  config.cacheDir = scratchDir("arity");
+  // Caller bugs must not masquerade as environmental degradation.
+  EXPECT_THROW(jit::runNative(kernel.program, config, jit::NativeRunInput{}),
+               InputError);
+}
+
+TEST(JitEngine, MissingCompilerFallsBackToPlanEngine) {
+  jit::resetNativeEngineForTest();
+  // $SWCODEGEN_CC beats $CC and "cc", so this poisons compiler resolution
+  // for the whole runGemmFunctional dispatch.
+  ScopedEnv cc("SWCODEGEN_CC", "/nonexistent/swcodegen-test-cc");
+  SwGemmCompiler compiler;
+  const CompiledKernel kernel = compiler.compile(CodegenOptions{});
+
+  const std::int64_t m = 128, n = 128, k = 128;
+  std::vector<double> a = randomMatrix(m * k, 21);
+  std::vector<double> b = randomMatrix(k * n, 22);
+  std::vector<double> cInit = randomMatrix(m * n, 23);
+  GemmProblem problem{m, n, k, 1};
+
+  FunctionalRunConfig nativeConfig;
+  nativeConfig.engine = rt::ExecEngine::kNative;
+  nativeConfig.jitCacheDir = scratchDir("fallback");
+  const double fallbacksBefore =
+      metrics::MetricsRegistry::global().get("jit.fallback");
+
+  std::vector<double> cNative = cInit;
+  const rt::RunOutcome outcome = runGemmFunctional(
+      kernel, compiler.arch(), problem, a, b, cNative, nativeConfig);
+  EXPECT_EQ(outcome.engine, "plan");
+  EXPECT_FALSE(outcome.jitCacheHit);
+  EXPECT_EQ(metrics::MetricsRegistry::global().get("jit.fallback"),
+            fallbacksBefore + 1.0);
+
+  // The degraded run still computes the right answer.
+  std::vector<double> cPlan = cInit;
+  runGemmFunctional(kernel, compiler.arch(), problem, a, b, cPlan,
+                    FunctionalRunConfig{});
+  EXPECT_EQ(std::memcmp(cNative.data(), cPlan.data(),
+                        cNative.size() * sizeof(double)),
+            0);
+}
+
+TEST(JitEngine, CorruptObjectIsEvictedAndRecompiled) {
+  jit::resetNativeEngineForTest();
+  SwGemmCompiler compiler;
+  const CompiledKernel kernel = compiler.compile(CodegenOptions{});
+
+  const std::int64_t m = 128, n = 128, k = 128;
+  std::vector<double> a = randomMatrix(m * k, 31);
+  std::vector<double> b = randomMatrix(k * n, 32);
+  std::vector<double> cInit = randomMatrix(m * n, 33);
+  GemmProblem problem{m, n, k, 1};
+
+  FunctionalRunConfig runConfig;
+  runConfig.engine = rt::ExecEngine::kNative;
+  runConfig.jitCacheDir = scratchDir("corrupt");
+
+  // Plant a garbage artifact at the exact digest path *before* anything
+  // was ever loaded from it — the picture a fresh process sees after a
+  // torn write or disk corruption.  (Corrupting the file after a load
+  // would be masked in-process: dlopen caches by pathname and the handle
+  // is never dlclosed.)
+  jit::NativeEngineConfig engineConfig;
+  engineConfig.cacheDir = runConfig.jitCacheDir;
+  const std::string soPath = jit::nativeObjectPath(
+      engineConfig, jit::nativeObjectDigest(kernel.program));
+  fs::create_directories(fs::path(soPath).parent_path());
+  {
+    std::ofstream out(soPath, std::ios::binary);
+    out << "this is not an ELF shared object";
+  }
+  ASSERT_LT(fs::file_size(soPath), 1024u);
+
+  // The engine must evict the bad object, recompile (reported as a cache
+  // miss), and produce the same bits as the plan engine.
+  std::vector<double> cNative = cInit;
+  const rt::RunOutcome outcome = runGemmFunctional(
+      kernel, compiler.arch(), problem, a, b, cNative, runConfig);
+  ASSERT_EQ(outcome.engine, "native");
+  EXPECT_FALSE(outcome.jitCacheHit);
+
+  std::vector<double> cPlan = cInit;
+  runGemmFunctional(kernel, compiler.arch(), problem, a, b, cPlan,
+                    FunctionalRunConfig{});
+  EXPECT_EQ(std::memcmp(cNative.data(), cPlan.data(),
+                        cNative.size() * sizeof(double)),
+            0);
+  // The replacement artifact is a real shared object again.
+  ASSERT_TRUE(fs::exists(soPath));
+  EXPECT_GT(fs::file_size(soPath), 1024u);
+}
+
+TEST(JitEngine, ConcurrentFirstUseCompilesExactlyOnce) {
+  jit::resetNativeEngineForTest();
+  SwGemmCompiler compiler;
+  const CompiledKernel kernel = compiler.compile(CodegenOptions{});
+
+  jit::NativeEngineConfig config;
+  config.cacheDir = scratchDir("singleflight");
+
+  constexpr int kThreads = 8;
+  std::vector<jit::NativeRunResult> results(kThreads);
+  std::vector<std::vector<std::vector<double>>> storages(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const jit::NativeRunInput input =
+          zeroInputFor(kernel.program, storages[t]);
+      results[t] = jit::runNative(kernel.program, config, input);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Single-flight: exactly one thread paid the compiler invocation; the
+  // rest were served the already-loaded object for the same digest.
+  int compiles = 0;
+  for (const jit::NativeRunResult& r : results) {
+    if (!r.cacheHit) ++compiles;
+    EXPECT_EQ(r.soPath, results[0].soPath);
+  }
+  EXPECT_EQ(compiles, 1);
+}
+
+}  // namespace
+}  // namespace sw::core

@@ -3,6 +3,9 @@
 // identical counters, and identical simulated seconds, across shapes,
 // option sets, and fault-injected runs.  These tests run every case
 // through both engines via runGemmFunctional and compare exhaustively.
+// The native JIT engine (src/jit) is pinned the same way: bit-identical C
+// and identical discrete counters (its timing counters stay zero — wall
+// clock is measured, not simulated).
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -11,6 +14,7 @@
 
 #include "core/compiler.h"
 #include "core/gemm_runner.h"
+#include "jit/native_engine.h"
 #include "kernel/reference.h"
 #include "runtime/plan.h"
 #include "sunway/fault.h"
@@ -54,12 +58,10 @@ struct PlanCase {
   FusionKind fusion = FusionKind::kNone;
   const char* inject = nullptr;  // --inject spec, nullptr = no faults
   bool edgeTiles = false;        // compile edge tiles, run unpadded
+  int microMr = 4, microNr = 8;  // register-blocked micro-kernel variant
 };
 
-class PlanEquivalence : public ::testing::TestWithParam<PlanCase> {};
-
-TEST_P(PlanEquivalence, MatchesTreeWalkBitExactly) {
-  const PlanCase& pc = GetParam();
+CodegenOptions optionsFor(const PlanCase& pc) {
   CodegenOptions options;
   options.batched = pc.batched;
   options.useRma = pc.useRma;
@@ -67,8 +69,17 @@ TEST_P(PlanEquivalence, MatchesTreeWalkBitExactly) {
   options.useAsm = pc.useAsm;
   options.fusion = pc.fusion;
   options.edgeTiles = pc.edgeTiles;
+  options.microMr = pc.microMr;
+  options.microNr = pc.microNr;
+  return options;
+}
+
+class PlanEquivalence : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanEquivalence, MatchesTreeWalkBitExactly) {
+  const PlanCase& pc = GetParam();
   SwGemmCompiler compiler;
-  CompiledKernel kernel = compiler.compile(options);
+  CompiledKernel kernel = compiler.compile(optionsFor(pc));
   ASSERT_NE(kernel.plan, nullptr);
 
   const std::int64_t countA = pc.batch * pc.m * pc.k;
@@ -135,10 +146,159 @@ INSTANTIATE_TEST_SUITE_P(
                  true, true, FusionKind::kNone, nullptr, /*edgeTiles=*/true},
         PlanCase{"edge_no_rma", 65, 63, 33, 1, 1.0, 1.0, false,
                  /*useRma=*/false, /*hideLatency=*/false, true,
-                 FusionKind::kNone, nullptr, /*edgeTiles=*/true}),
+                 FusionKind::kNone, nullptr, /*edgeTiles=*/true},
+        // Non-default register blocking must stay engine-invariant too.
+        PlanCase{"mk_2x16", 96, 64, 64, 1, 1.0, 1.0, false, true, true, true,
+                 FusionKind::kNone, nullptr, false, /*microMr=*/2,
+                 /*microNr=*/16}),
     [](const ::testing::TestParamInfo<PlanCase>& info) {
       return info.param.label;
     });
+
+// ---------------------------------------------------------------------------
+// Native JIT engine equivalence: bit-identical C and identical discrete
+// counters vs. the tree-walk reference.  Timing counters are asserted zero
+// (the native engine measures wall clock; it does not simulate time).
+// ---------------------------------------------------------------------------
+
+void expectDiscreteCountersEqual(const sunway::CpeCounters& native,
+                                 const sunway::CpeCounters& tree) {
+  EXPECT_EQ(native.dmaMessages, tree.dmaMessages);
+  EXPECT_EQ(native.dmaBytes, tree.dmaBytes);
+  EXPECT_EQ(native.rmaBroadcastsSent, tree.rmaBroadcastsSent);
+  EXPECT_EQ(native.rmaBytesSent, tree.rmaBytesSent);
+  EXPECT_EQ(native.syncs, tree.syncs);
+  EXPECT_EQ(native.microKernelCalls, tree.microKernelCalls);
+  EXPECT_EQ(native.flops, tree.flops);
+}
+
+std::string testJitCacheDir() {
+  return ::testing::TempDir() + "swcodegen-jit-equivalence";
+}
+
+class NativeEquivalence : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(NativeEquivalence, MatchesTreeWalkBitExactly) {
+  const PlanCase& pc = GetParam();
+  SwGemmCompiler compiler;
+  CompiledKernel kernel = compiler.compile(optionsFor(pc));
+  ASSERT_NE(kernel.plan, nullptr);
+
+  const std::int64_t countA = pc.batch * pc.m * pc.k;
+  const std::int64_t countB = pc.batch * pc.k * pc.n;
+  const std::int64_t countC = pc.batch * pc.m * pc.n;
+  std::vector<double> a = randomMatrix(countA, 201);
+  std::vector<double> b = randomMatrix(countB, 202);
+  std::vector<double> cInit = randomMatrix(countC, 203);
+  GemmProblem problem{pc.m, pc.n, pc.k, pc.batch, pc.alpha, pc.beta};
+
+  FunctionalRunConfig nativeConfig;
+  nativeConfig.engine = rt::ExecEngine::kNative;
+  nativeConfig.jitCacheDir = testJitCacheDir();
+  FunctionalRunConfig treeConfig;
+  treeConfig.engine = rt::ExecEngine::kTreeWalk;
+
+  std::vector<double> cNative = cInit;
+  rt::RunOutcome nativeOutcome = runGemmFunctional(
+      kernel, compiler.arch(), problem, a, b, cNative, nativeConfig);
+  // A silent fallback to the plan engine would make the comparison below
+  // vacuous: the point of this suite is the JIT'd machine code.
+  ASSERT_EQ(nativeOutcome.engine, "native")
+      << "native engine degraded instead of running";
+  std::vector<double> cTree = cInit;
+  rt::RunOutcome treeOutcome = runGemmFunctional(
+      kernel, compiler.arch(), problem, a, b, cTree, treeConfig);
+
+  EXPECT_EQ(std::memcmp(cNative.data(), cTree.data(),
+                        static_cast<std::size_t>(countC) * sizeof(double)),
+            0)
+      << "max |diff| = "
+      << kernel::maxAbsDiff(cNative.data(), cTree.data(), countC);
+  expectDiscreteCountersEqual(nativeOutcome.counters, treeOutcome.counters);
+  EXPECT_EQ(nativeOutcome.counters.computeSeconds, 0.0);
+  EXPECT_EQ(nativeOutcome.counters.dmaBusySeconds, 0.0);
+  EXPECT_EQ(nativeOutcome.counters.rmaBusySeconds, 0.0);
+  EXPECT_EQ(nativeOutcome.counters.waitStallSeconds, 0.0);
+  EXPECT_EQ(nativeOutcome.hostCopyBytes, treeOutcome.hostCopyBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NativeEquivalence,
+    ::testing::Values(
+        PlanCase{"square", 128, 128, 128, 1, 1.0, 1.0},
+        PlanCase{"nonsquare", 65, 129, 33, 1, -2.5, 0.5},
+        PlanCase{"beta_zero", 96, 96, 96, 1, 1.0, 0.0},
+        PlanCase{"batched", 64, 96, 64, 3, 1.25, 0.75, /*batched=*/true},
+        PlanCase{"fused_relu", 96, 64, 64, 1, 1.0, 1.0, false, true, true,
+                 true, FusionKind::kEpilogueRelu},
+        PlanCase{"fused_quant", 64, 64, 96, 1, 0.5, 2.0, false, true, true,
+                 true, FusionKind::kPrologueQuantize},
+        PlanCase{"no_rma", 128, 96, 64, 1, 1.0, 1.0, false, /*useRma=*/false,
+                 /*hideLatency=*/false},
+        PlanCase{"naive_compute", 100, 100, 100, 1, 1.0, 1.0, false, true,
+                 true, /*useAsm=*/false},
+        PlanCase{"edge_square", 100, 100, 100, 1, 1.0, 1.0, false, true,
+                 true, true, FusionKind::kNone, nullptr, /*edgeTiles=*/true},
+        PlanCase{"edge_irregular", 63, 129, 65, 1, -1.5, 0.25, false, true,
+                 true, true, FusionKind::kNone, nullptr, /*edgeTiles=*/true},
+        PlanCase{"edge_no_rma", 65, 63, 33, 1, 1.0, 1.0, false,
+                 /*useRma=*/false, /*hideLatency=*/false, true,
+                 FusionKind::kNone, nullptr, /*edgeTiles=*/true},
+        PlanCase{"mk_2x16", 96, 64, 64, 1, 1.0, 1.0, false, true, true, true,
+                 FusionKind::kNone, nullptr, false, /*microMr=*/2,
+                 /*microNr=*/16},
+        PlanCase{"mk_8x4_edge", 63, 65, 40, 1, 2.0, -0.5, false, true, true,
+                 true, FusionKind::kNone, nullptr, /*edgeTiles=*/true,
+                 /*microMr=*/8, /*microNr=*/4}),
+    [](const ::testing::TestParamInfo<PlanCase>& info) {
+      return info.param.label;
+    });
+
+TEST(NativeEquivalence, SecondRunHitsTheObjectCache) {
+  SwGemmCompiler compiler;
+  CompiledKernel kernel = compiler.compile(CodegenOptions{});
+  std::vector<double> a = randomMatrix(128 * 128, 301);
+  std::vector<double> b = randomMatrix(128 * 128, 302);
+  std::vector<double> c(128 * 128, 0.0);
+  GemmProblem problem{128, 128, 128, 1, 1.0, 0.0};
+  FunctionalRunConfig config;
+  config.engine = rt::ExecEngine::kNative;
+  config.jitCacheDir = ::testing::TempDir() + "swcodegen-jit-cachehit";
+  rt::RunOutcome first =
+      runGemmFunctional(kernel, compiler.arch(), problem, a, b, c, config);
+  ASSERT_EQ(first.engine, "native");
+  rt::RunOutcome second =
+      runGemmFunctional(kernel, compiler.arch(), problem, a, b, c, config);
+  ASSERT_EQ(second.engine, "native");
+  EXPECT_TRUE(second.jitCacheHit);
+  // A fresh process would probe the disk cache instead of the handle
+  // table; that path is equally a hit.
+  jit::resetNativeEngineForTest();
+  rt::RunOutcome third =
+      runGemmFunctional(kernel, compiler.arch(), problem, a, b, c, config);
+  ASSERT_EQ(third.engine, "native");
+  EXPECT_TRUE(third.jitCacheHit);
+}
+
+TEST(NativeEquivalence, FaultPlanPinsTheSimulator) {
+  SwGemmCompiler compiler;
+  CompiledKernel kernel = compiler.compile(CodegenOptions{});
+  std::vector<double> a = randomMatrix(64 * 64, 401);
+  std::vector<double> b = randomMatrix(64 * 64, 402);
+  std::vector<double> c(64 * 64, 0.0);
+  GemmProblem problem{64, 64, 64, 1, 1.0, 0.0};
+  FunctionalRunConfig config;
+  config.engine = rt::ExecEngine::kNative;
+  config.jitCacheDir = testJitCacheDir();
+  config.faultPlan = std::make_shared<const sunway::FaultPlan>(
+      sunway::FaultPlan::parse("dma-drop:occ=1:count=1"));
+  rt::RunOutcome outcome =
+      runGemmFunctional(kernel, compiler.arch(), problem, a, b, c, config);
+  // Fault injection is a simulator feature: the run must use the plan
+  // engine, not silently skip injection inside JIT'd code.
+  EXPECT_EQ(outcome.engine, "plan");
+  EXPECT_GT(outcome.counters.faultsInjected, 0);
+}
 
 TEST(PlanEquivalence, EstimatorTimingMatchesTreeWalk) {
   SwGemmCompiler compiler;

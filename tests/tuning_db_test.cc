@@ -13,6 +13,7 @@
 
 #include "service/kernel_service.h"
 #include "support/error.h"
+#include "support/format.h"
 #include "tuning/tuning_db.h"
 
 namespace sw::tuning {
@@ -144,7 +145,8 @@ TEST(TuningDb, VersionSkewIsStaleNotCorrupt) {
     std::ifstream in(path, std::ios::binary);
     std::getline(in, body);
   }
-  const std::string needle = "\"schema_version\":1";
+  const std::string needle =
+      strCat("\"schema_version\":", kTuningDbVersion);
   const std::size_t pos = body.find(needle);
   ASSERT_NE(pos, std::string::npos);
   body.replace(pos, needle.size(), "\"schema_version\":99");

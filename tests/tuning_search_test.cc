@@ -212,7 +212,7 @@ TEST(ScheduleSearch, PaperScaleShapesValidateAProxyShape) {
   EXPECT_FALSE(result.validationAtFullShape);
   EXPECT_LT(result.validationShape.m, 4096);
   EXPECT_GT(result.validationShape.m, 0);
-  EXPECT_EQ(result.best().label(), "64x64x32/s8/d2/pad");
+  EXPECT_EQ(result.best().label(), "64x64x32/s8/d2/pad/mk4x8");
 }
 
 TEST(ScheduleSearch, DeterministicAcrossRuns) {

@@ -67,6 +67,12 @@ void usage(std::FILE* out) {
       "                     mesh simulator with random data; with edge\n"
       "                     tiles the result is verified bit-for-bit\n"
       "                     against the padded reference run\n"
+      "  --engine ENGINE    execution engine for --run: 'plan' (default)\n"
+      "                     interprets the lowered plan, 'tree' walks the\n"
+      "                     schedule tree, 'native' JIT-compiles the kernel\n"
+      "                     to a host shared object (prints a `jit:` cache\n"
+      "                     verdict; environmental JIT failures degrade to\n"
+      "                     the plan engine)\n"
       "  --profile          print a per-stage compile breakdown, the\n"
       "                     derived run metrics (overlap%%, stall%%, SPM),\n"
       "                     the grouped metrics-registry table and the\n"
@@ -133,7 +139,12 @@ void usage(std::FILE* out) {
       "  SWCODEGEN_TRACE       path — enable tracing and write there on exit\n"
       "  SWCODEGEN_CACHE_DIR   default for --cache-dir\n"
       "  SWCODEGEN_TUNING_DIR  default for --tuning-dir\n"
-      "  SWCODEGEN_WATCHDOG_MS default for --watchdog-ms\n");
+      "  SWCODEGEN_WATCHDOG_MS default for --watchdog-ms\n"
+      "  SWCODEGEN_CC          host compiler for --engine native (then $CC,\n"
+      "                        then 'cc')\n"
+      "  SWCODEGEN_JIT_CACHE_DIR\n"
+      "                        root of the native engine's .so cache\n"
+      "                        (default: a per-user temp directory)\n");
 }
 
 std::string readFile(const std::string& path) {
@@ -166,6 +177,7 @@ int runShapeSmoke(const sw::core::CompiledKernel& kernel,
                   const sw::sunway::ArchConfig& arch,
                   const std::vector<long>& shape,
                   sw::core::PadMode padMode,
+                  sw::rt::ExecEngine engine,
                   sw::rt::RunOutcome* outcomeOut) {
   const std::int64_t m = shape[0], n = shape[1], k = shape[2];
   const std::int64_t batch = shape.size() == 4 ? shape[3] : 1;
@@ -180,6 +192,7 @@ int runShapeSmoke(const sw::core::CompiledKernel& kernel,
 
   sw::core::FunctionalRunConfig runConfig;
   runConfig.padMode = padMode;
+  runConfig.engine = engine;
   std::vector<double> c = c0;
   const sw::rt::RunOutcome outcome =
       sw::core::runGemmFunctional(kernel, arch, problem, a, b, c, runConfig);
@@ -194,6 +207,15 @@ int runShapeSmoke(const sw::core::CompiledKernel& kernel,
               ranEdge ? "edge tiles, unpadded arrays" : "padded arrays",
               outcome.gflops, outcome.seconds * 1e3, outcome.counters.flops,
               static_cast<long long>(outcome.hostCopyBytes));
+  // Machine-greppable JIT verdict: `jit: cache hit` on a warm cache,
+  // `jit: compiled` on a cold one, and an explicit degradation notice when
+  // the native engine was requested but the plan engine served the run.
+  if (outcome.engine == "native") {
+    std::printf("jit: %s\n", outcome.jitCacheHit ? "cache hit" : "compiled");
+  } else if (engine == sw::rt::ExecEngine::kNative) {
+    std::printf("jit: unavailable, ran on the %s engine\n",
+                outcome.engine.c_str());
+  }
 
   if (!ranEdge) {
     std::printf("run: result=done\n");
@@ -518,13 +540,14 @@ int runTuneMode(sw::service::KernelService& service,
       service.resolveSchedule(base, problem);
   const sw::tuning::TunedScheduleRecord& record = resolved.record;
   std::printf("best schedule: tile %lldx%lldx%lld strip %lld depth %d %s "
-              "— %.2f GFLOPS simulated (%s)\n",
+              "mk %dx%d — %.2f GFLOPS simulated (%s)\n",
               static_cast<long long>(record.schedule.tileM),
               static_cast<long long>(record.schedule.tileN),
               static_cast<long long>(record.schedule.tileK),
               static_cast<long long>(record.schedule.stripFactor),
               record.schedule.bufferDepth,
-              record.schedule.edgeTiles ? "edge" : "pad", record.gflops,
+              record.schedule.edgeTiles ? "edge" : "pad",
+              record.schedule.microMr, record.schedule.microNr, record.gflops,
               record.verdict.empty() ? "unvalidated" : record.verdict.c_str());
   std::printf("search report: %d enumerated, %d feasible, %d validated on "
               "the mesh, %.2f s host search time\n",
@@ -631,6 +654,7 @@ int main(int argc, char** argv) {
   std::vector<long> runShape;
   std::vector<long> tuneShape;
   sw::core::PadMode padMode = sw::core::PadMode::kAuto;
+  sw::rt::ExecEngine engine = sw::rt::ExecEngine::kPlan;
   sw::core::CodegenOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -778,6 +802,26 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "swcodegen: %s requires positive integers M N K [B]\n",
                      arg.c_str());
+        return 2;
+      }
+    } else if (arg == "--engine") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "swcodegen: --engine requires tree, plan or native\n");
+        return 2;
+      }
+      const std::string name = argv[++i];
+      if (name == "plan") {
+        engine = sw::rt::ExecEngine::kPlan;
+      } else if (name == "tree") {
+        engine = sw::rt::ExecEngine::kTreeWalk;
+      } else if (name == "native") {
+        engine = sw::rt::ExecEngine::kNative;
+      } else {
+        std::fprintf(stderr,
+                     "swcodegen: unknown --engine '%s' (want tree, plan or "
+                     "native)\n",
+                     name.c_str());
         return 2;
       }
     } else if (arg == "--pad-mode") {
@@ -1008,7 +1052,7 @@ int main(int argc, char** argv) {
     sw::rt::RunOutcome runOutcome;
     if (!runShape.empty())
       runRc = runShapeSmoke(kernel, compiler.arch(), runShape, padMode,
-                            &runOutcome);
+                            engine, &runOutcome);
 
     // A functional mesh run lights up the 64 per-CPE trace lanes and the
     // threaded-runtime metrics.
