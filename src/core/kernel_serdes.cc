@@ -569,6 +569,10 @@ std::string canonicalRequestKey(const CodegenOptions& options,
   w.real(arch.mpeFlopsPerCycle);
   w.real(arch.mpeFrequencyHz);
   w.real(arch.mpeMemBandwidthBytesPerSec);
+  w.num(arch.coreGroups);
+  w.real(arch.nodeDdrBandwidthBytesPerSec);
+  w.real(arch.nocBandwidthBytesPerSec);
+  w.real(arch.nocLatencySeconds);
   return w.take();
 }
 

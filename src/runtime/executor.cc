@@ -65,6 +65,19 @@ perf::MachineModel machineModelFromArch(const sunway::ArchConfig& config) {
   return machine;
 }
 
+perf::MachineModel machineModelFromArch(const sunway::ArchConfig& config,
+                                        int concurrentGroups) {
+  if (concurrentGroups < 1) concurrentGroups = 1;
+  perf::MachineModel machine = machineModelFromArch(config);
+  const double groups = static_cast<double>(concurrentGroups);
+  machine.peakGflops *= groups;
+  machine.peakDmaGBps =
+      groups * config.groupDdrBandwidth(concurrentGroups) / 1e9;
+  machine.meshSize = concurrentGroups * config.meshSize();
+  machine.coreGroups = concurrentGroups;
+  return machine;
+}
+
 metrics::DerivedRunMetrics deriveRunMetrics(
     const sunway::CpeCounters& totals, double wallSeconds, int cpeCount,
     const codegen::KernelProgram& program, std::int64_t spmBudgetBytes) {

@@ -60,6 +60,13 @@ struct RunOutcome {
 [[nodiscard]] perf::MachineModel machineModelFromArch(
     const sunway::ArchConfig& config);
 
+/// Multi-group roofline: compute peak scales with the streaming group
+/// count while the DMA peak is the contention-derated node aggregate
+/// (groups × ArchConfig::groupDdrBandwidth(groups)), so six groups never
+/// advertise 6× single-group bandwidth the shared DDR pool cannot supply.
+[[nodiscard]] perf::MachineModel machineModelFromArch(
+    const sunway::ArchConfig& config, int concurrentGroups);
+
 /// Build one run's PerfReport from its aggregate counters; shared by the
 /// mesh, estimator and native (src/jit) engines.
 [[nodiscard]] perf::PerfReport buildRunReport(

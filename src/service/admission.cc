@@ -26,16 +26,49 @@ double TokenBucket::available(double now) {
   return tokens_;
 }
 
+namespace {
+
+/// Idle time after which a bucket is back at full burst (and therefore
+/// equivalent to a fresh one).  A non-refilling quota never reaches the
+/// horizon and is kept forever.
+double refillToBurstSeconds(const TenantQuota& quota) {
+  if (quota.refillPerSecond <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return quota.burst / quota.refillPerSecond;
+}
+
+}  // namespace
+
+void TenantQuotas::evictIdle(double now) {
+  // Amortised: one linear sweep per second of `now` time, not per call.
+  if (now - lastSweep_ < 1.0) return;
+  lastSweep_ = now;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (now - it->second.lastAccess >= refillToBurstSeconds(it->second.quota))
+      it = buckets_.erase(it);
+    else
+      ++it;
+  }
+}
+
 bool TenantQuotas::tryAcquire(const std::string& tenant, double now) {
   std::lock_guard<std::mutex> lock(mutex_);
+  evictIdle(now);
   auto it = buckets_.find(tenant);
   if (it == buckets_.end()) {
     auto override = overrides_.find(tenant);
     const TenantQuota quota =
         override != overrides_.end() ? override->second : defaultQuota_;
-    it = buckets_.emplace(tenant, TokenBucket(quota, now)).first;
+    it = buckets_.emplace(tenant, Entry{TokenBucket(quota, now), quota, now})
+             .first;
   }
-  return it->second.tryAcquire(now);
+  it->second.lastAccess = now;
+  return it->second.bucket.tryAcquire(now);
+}
+
+std::size_t TenantQuotas::bucketCount() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
 }
 
 CircuitBreaker::CircuitBreaker(std::string domain, int failureThreshold,

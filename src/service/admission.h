@@ -100,6 +100,13 @@ class TokenBucket {
 
 /// Thread-safe tenant → TokenBucket map, lazily populated from the
 /// config's per-tenant overrides (falling back to the default quota).
+///
+/// Buckets are evicted once idle past their refill-to-burst horizon
+/// (burst / refillPerSecond): after that long untouched, a bucket has
+/// refilled to capacity and is indistinguishable from a freshly created
+/// one, so eviction is semantics-preserving and the map stays bounded by
+/// the number of *recently active* tenants instead of growing one entry
+/// per tenant name ever seen.
 class TenantQuotas {
  public:
   explicit TenantQuotas(const AdmissionConfig& config)
@@ -108,11 +115,23 @@ class TenantQuotas {
   /// Acquire one token from `tenant`'s bucket; false = over quota.
   bool tryAcquire(const std::string& tenant, double now);
 
+  /// Live buckets (post-eviction); exposed for tests and gauges.
+  [[nodiscard]] std::size_t bucketCount();
+
  private:
+  struct Entry {
+    TokenBucket bucket;
+    TenantQuota quota;
+    double lastAccess = 0.0;
+  };
+
+  void evictIdle(double now);
+
   std::mutex mutex_;
   TenantQuota defaultQuota_;
   std::map<std::string, TenantQuota> overrides_;
-  std::map<std::string, TokenBucket> buckets_;
+  std::map<std::string, Entry> buckets_;
+  double lastSweep_ = 0.0;
 };
 
 /// Per-failure-domain circuit breaker.

@@ -10,6 +10,7 @@
 // sweep it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 namespace sw::sunway {
@@ -65,6 +66,20 @@ struct ArchConfig {
   /// memory (the unfused prologue/epilogue baseline of §8.4 runs there).
   double mpeMemBandwidthBytesPerSec = 2.5e9;
 
+  // --- node level: SW26010Pro packs six core groups on one chip (§2.1) ---
+  /// Core groups available on the node.  Sharded execution may use up to
+  /// this many concurrent meshes.
+  int coreGroups = 6;
+  /// Aggregate DDR bandwidth of the whole node.  The per-group channels
+  /// share ring stops and the memory controllers, so six groups streaming
+  /// at once do NOT see 6x the single-group bandwidth: each gets
+  /// nodeDdrBandwidthBytesPerSec / groups once the node pool saturates.
+  double nodeDdrBandwidthBytesPerSec = 144.0e9;
+  /// Network-on-chip linking the core groups (block hand-off between
+  /// group sub-problems: operand gathers and C scatters/partials).
+  double nocBandwidthBytesPerSec = 25.0e9;
+  double nocLatencySeconds = 2.0e-6;
+
   [[nodiscard]] int meshSize() const { return meshRows * meshCols; }
 
   /// Theoretical peak of the core group in flops/second.
@@ -75,6 +90,32 @@ struct ArchConfig {
   /// Per-CPE share of main-memory bandwidth when the whole mesh streams.
   [[nodiscard]] double dmaShareBytesPerSec() const {
     return ddrBandwidthBytesPerSec / meshSize();
+  }
+
+  /// Effective DDR bandwidth one group sees while `concurrentGroups`
+  /// stream simultaneously.  A single group keeps its full channel; past
+  /// the point where groups * per-group demand exceeds the node pool,
+  /// each group's share drops to an even split of the pool.
+  [[nodiscard]] double groupDdrBandwidth(int concurrentGroups) const {
+    if (concurrentGroups <= 1) return ddrBandwidthBytesPerSec;
+    return std::min(ddrBandwidthBytesPerSec,
+                    nodeDdrBandwidthBytesPerSec /
+                        static_cast<double>(concurrentGroups));
+  }
+
+  /// Fraction of the single-group bandwidth that survives contention
+  /// (1.0 when the node pool still covers every group's full channel).
+  [[nodiscard]] double contentionDerate(int concurrentGroups) const {
+    return groupDdrBandwidth(concurrentGroups) / ddrBandwidthBytesPerSec;
+  }
+
+  /// Copy of this config with the DDR bandwidth derated for a group
+  /// running alongside `concurrentGroups - 1` other streaming groups.
+  /// Timing-only: functional results never depend on bandwidth numbers.
+  [[nodiscard]] ArchConfig forConcurrentGroups(int concurrentGroups) const {
+    ArchConfig derated = *this;
+    derated.ddrBandwidthBytesPerSec = groupDdrBandwidth(concurrentGroups);
+    return derated;
   }
 
   /// Time for one DMA message of `bytes` spread over `rows` strided rows.

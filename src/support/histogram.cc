@@ -93,19 +93,23 @@ double Histogram::percentile(double p) const {
           std::clamp((rank - static_cast<double>(cumulative)) /
                          static_cast<double>(n),
                      0.0, 1.0);
-      if (i == 0) return kMinValue * frac;  // linear from 0
-      if (i == kBucketCount - 1) return kMaxValue;
+      // Every interpolated estimate is clamped to the tracked maximum:
+      // bucket edges (and the overflow bucket especially) otherwise cap
+      // or overshoot the true recorded extreme, so p100 must equal it.
+      if (i == 0) return std::min(kMinValue * frac, max_);  // linear from 0
+      if (i == kBucketCount - 1) return std::max(kMaxValue, max_);
       const double lower = bucketLowerBound(i);
       const double upper = bucketUpperBound(i);
-      return lower * std::pow(upper / lower, frac);
+      return std::min(lower * std::pow(upper / lower, frac), max_);
     }
     cumulative += n;
   }
   // All mass consumed without reaching the rank (p == 100 with rounding):
-  // report the highest non-empty bucket's upper edge.
+  // report the highest non-empty bucket's upper edge, clamped likewise.
   for (int i = kBucketCount - 1; i >= 0; --i) {
     if (counts_[static_cast<std::size_t>(i)] == 0) continue;
-    return i == kBucketCount - 1 ? kMaxValue : bucketUpperBound(i);
+    return i == kBucketCount - 1 ? std::max(kMaxValue, max_)
+                                 : std::min(bucketUpperBound(i), max_);
   }
   return 0.0;
 }

@@ -13,8 +13,10 @@
 // r = (p/100)·n; the first bucket whose cumulative count reaches r is
 // selected and the result interpolates geometrically inside it:
 //   value = lower · (upper/lower)^frac,  frac = (r − cumBefore)/bucketN.
-// The underflow bucket [0, kMinValue) interpolates linearly from 0; the
-// overflow bucket reports its lower bound (no upper edge exists).
+// The underflow bucket [0, kMinValue) interpolates linearly from 0.
+// Every estimate is clamped to the tracked maximum, so p100 reports the
+// true recorded extreme even from the overflow bucket [kMaxValue, inf),
+// which has no upper edge to interpolate against.
 #pragma once
 
 #include <array>

@@ -37,11 +37,16 @@ inline constexpr int kPerfReportSchemaVersion = 1;
 inline constexpr double kCeilingExplainsThreshold = 0.5;
 
 /// The machine's steady-state ceilings, derived from sunway::ArchConfig.
+/// With coreGroups > 1 the ceilings describe the concurrent multi-group
+/// machine: peakGflops scales with the group count while peakDmaGBps is
+/// the contention-derated aggregate (groups × per-group effective share),
+/// so the roofline verdicts stay honest at node scale.
 struct MachineModel {
-  double peakGflops = 0.0;   // whole core group, asm micro-kernel rate
-  double peakDmaGBps = 0.0;  // aggregate DDR bandwidth
+  double peakGflops = 0.0;   // all streaming groups, asm micro-kernel rate
+  double peakDmaGBps = 0.0;  // aggregate DDR bandwidth after contention
   double peakRmaGBps = 0.0;  // per-broadcast RMA bandwidth
-  int meshSize = 64;
+  int meshSize = 64;         // total CPEs across the modeled groups
+  int coreGroups = 1;        // concurrent streaming core groups
 
   /// Arithmetic intensity (flops per DMA byte) where the compute roof and
   /// the DMA roof intersect.

@@ -21,9 +21,12 @@ core::CodegenOptions ScheduleCandidate::apply(core::CodegenOptions base) const {
 }
 
 std::string ScheduleCandidate::label() const {
-  return strCat(tileM, "x", tileN, "x", tileK, "/s", stripFactor, "/d",
-                bufferDepth, edgeTiles ? "/edge" : "/pad", "/mk", microMr,
-                "x", microNr);
+  std::string label =
+      strCat(tileM, "x", tileN, "x", tileK, "/s", stripFactor, "/d",
+             bufferDepth, edgeTiles ? "/edge" : "/pad", "/mk", microMr,
+             "x", microNr);
+  if (shardedGroups > 1) label += strCat("/g", shardedGroups);
+  return label;
 }
 
 bool ScheduleCandidate::hasAsmKernel(const core::CodegenOptions& base) const {
@@ -91,6 +94,13 @@ EnumeratedCandidate judge(const ScheduleCandidate& candidate,
     entry.pruneReason = strCat(
         "micro-kernel register block ", candidate.microMr, "x",
         candidate.microNr, " is outside the generated family (§7.2)");
+    return entry;
+  }
+  if (candidate.shardedGroups < 1 ||
+      candidate.shardedGroups > arch.coreGroups) {
+    entry.pruneReason = strCat(
+        "sharded group count ", candidate.shardedGroups,
+        " is outside the node's 1..", arch.coreGroups, " core groups");
     return entry;
   }
   entry.feasible = true;
@@ -171,6 +181,18 @@ std::vector<EnumeratedCandidate> enumerateCandidates(
           }
         }
       }
+    }
+  }
+  // Group fan-out: the sharding axis is orthogonal to the kernel schedule
+  // (apply() leaves codegen untouched), so replay the enumerated list once
+  // per extra group count instead of threading it through the grid loops.
+  const std::size_t singleGroupPoints = out.size();
+  for (const int groups : config.shardedGroups) {
+    if (groups == 1) continue;
+    for (std::size_t i = 0; i < singleGroupPoints; ++i) {
+      ScheduleCandidate candidate = out[i].candidate;
+      candidate.shardedGroups = groups;
+      push(candidate);
     }
   }
   return out;

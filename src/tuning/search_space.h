@@ -44,6 +44,10 @@ struct ScheduleCandidate {
   /// where the enumerator co-searches the family.
   int microMr = 4;
   int microNr = 8;
+  /// Core groups the runtime shards the problem across (core/sharded_gemm).
+  /// Purely a runtime decomposition: apply() leaves the kernel untouched,
+  /// and 1 (the default) means single-group execution.
+  int shardedGroups = 1;
 
   /// Overlay this candidate onto `base`, leaving every non-schedule field
   /// (asm, RMA, fusion, transposes, batching) untouched.  bufferDepth == 2
@@ -52,7 +56,8 @@ struct ScheduleCandidate {
   [[nodiscard]] core::CodegenOptions apply(core::CodegenOptions base) const;
 
   /// "64x64x32/s8/d2/pad/mk4x8" — tile, strip factor, buffer depth, edge
-  /// mode, micro-kernel register block.
+  /// mode, micro-kernel register block; "/gN" appended only when the
+  /// candidate shards across N > 1 core groups.
   [[nodiscard]] std::string label() const;
 
   /// Whether this tile matches the vendor micro-kernel contract (§7.2:
@@ -92,6 +97,11 @@ struct SearchSpaceConfig {
   /// by the candidate tile grid (divisible shapes bind no clamps, so the
   /// edge variant would be redundant).
   bool edgeCandidates = true;
+  /// Core-group counts to shard across.  {1} (the default) keeps the
+  /// search single-group; widening it (e.g. {1, 6} via --groups) fans
+  /// every feasible schedule out per group count, scored through the
+  /// contention-derated sharded estimator.
+  std::vector<int> shardedGroups = {1};
 };
 
 /// Analytic SPM working set of `options` in bytes: C + double/single

@@ -7,6 +7,7 @@
 
 #include "core/compiler.h"
 #include "core/pipeline.h"
+#include "core/sharded_gemm.h"
 #include "support/error.h"
 #include "support/format.h"
 #include "support/logging.h"
@@ -145,11 +146,23 @@ ScheduleSearchResult searchSchedules(const core::CodegenOptions& base,
     try {
       core::CompiledKernel kernel =
           compiler.compile(entry.candidate.apply(base));
-      const rt::RunOutcome estimate =
-          core::estimateGemm(kernel, arch, problem);
+      if (entry.candidate.shardedGroups > 1) {
+        // Multi-group candidates score through the sharded estimator, so
+        // the ranking sees the contention-derated node roofline rather
+        // than an optimistic single-group-times-N extrapolation.
+        core::ShardedConfig sharded;
+        sharded.groups = entry.candidate.shardedGroups;
+        const core::ShardedOutcome estimate =
+            core::estimateSharded(kernel, arch, sharded, problem);
+        result.estimatedGflops = estimate.gflops;
+        result.report = estimate.report;
+      } else {
+        const rt::RunOutcome estimate =
+            core::estimateGemm(kernel, arch, problem);
+        result.estimatedGflops = estimate.gflops;
+        result.report = estimate.report;
+      }
       result.feasible = true;
-      result.estimatedGflops = estimate.gflops;
-      result.report = estimate.report;
       result.note = result.hasAsmKernel ? "vendor micro-kernel"
                                         : "compiler-scheduled inner loops";
       kernels[i] = std::move(kernel);
@@ -224,12 +237,23 @@ ScheduleSearchResult searchSchedules(const core::CodegenOptions& base,
     std::vector<double> b = randomMatrix(batch * (tB ? n * k : k * n), 12);
     std::vector<double> c = randomMatrix(batch * m * n, 13);
     try {
-      const rt::RunOutcome outcome = core::runGemmFunctional(
-          kernel, arch, validationShape, a, b, c, {});
-      result.validated = true;
-      result.measuredGflops = outcome.gflops;
-      result.report = outcome.report;
-      validateSpan.addArg(trace::arg("gflops", outcome.gflops));
+      if (result.candidate.shardedGroups > 1) {
+        core::ShardedConfig sharded;
+        sharded.groups = result.candidate.shardedGroups;
+        const core::ShardedOutcome outcome = core::runShardedFunctional(
+            kernel, arch, sharded, validationShape, a, b, c);
+        result.validated = true;
+        result.measuredGflops = outcome.gflops;
+        result.report = outcome.report;
+        validateSpan.addArg(trace::arg("gflops", outcome.gflops));
+      } else {
+        const rt::RunOutcome outcome = core::runGemmFunctional(
+            kernel, arch, validationShape, a, b, c, {});
+        result.validated = true;
+        result.measuredGflops = outcome.gflops;
+        result.report = outcome.report;
+        validateSpan.addArg(trace::arg("gflops", outcome.gflops));
+      }
     } catch (const Error& e) {
       result.note = strCat(result.note, "; validation failed: ", e.what());
       validateSpan.addArg(trace::arg("error", e.what()));

@@ -183,6 +183,7 @@ std::string TuningDb::renderRecord(const std::string& key,
                 record.schedule.edgeTiles ? "true" : "false");
   num("micro_mr", record.schedule.microMr);
   num("micro_nr", record.schedule.microNr);
+  num("sharded_groups", record.schedule.shardedGroups);
   real("gflops", record.gflops);
   real("measured_gflops", record.measuredGflops);
   str("verdict", record.verdict);
@@ -232,6 +233,8 @@ std::optional<TunedScheduleRecord> TuningDb::lookup(const std::string& key) {
         static_cast<int>(parseIntField(content, "micro_mr"));
     record.schedule.microNr =
         static_cast<int>(parseIntField(content, "micro_nr"));
+    record.schedule.shardedGroups =
+        static_cast<int>(parseIntField(content, "sharded_groups"));
     record.gflops = parseDoubleField(content, "gflops");
     record.measuredGflops = parseDoubleField(content, "measured_gflops");
     record.verdict = parseStringField(content, "verdict");
@@ -247,7 +250,7 @@ std::optional<TunedScheduleRecord> TuningDb::lookup(const std::string& key) {
         (record.schedule.bufferDepth != 1 &&
          record.schedule.bufferDepth != 2) ||
         record.schedule.microMr <= 0 || record.schedule.microNr <= 0 ||
-        record.gflops < 0.0)
+        record.schedule.shardedGroups < 1 || record.gflops < 0.0)
       throwInput("tuning record carries an out-of-range schedule");
     ++stats_.hits;
     return record;

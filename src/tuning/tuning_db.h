@@ -30,8 +30,9 @@ namespace sw::tuning {
 
 /// Bumped whenever the record layout or the meaning of a field changes;
 /// readers treat other versions as stale and re-tune.  v2: records carry
-/// the winner's MR x NR micro-kernel register block.
-inline constexpr int kTuningDbVersion = 2;
+/// the winner's MR x NR micro-kernel register block.  v3: records carry
+/// the winner's sharded core-group count.
+inline constexpr int kTuningDbVersion = 3;
 
 /// One persisted search winner plus enough provenance to audit it.
 struct TunedScheduleRecord {

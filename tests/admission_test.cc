@@ -108,6 +108,45 @@ TEST(TokenBucketTest, RefillsAtConfiguredRate) {
   EXPECT_FALSE(bucket.tryAcquire(100.0));
 }
 
+TEST(TenantQuotasTest, EvictsBucketsIdlePastRefillToBurstHorizon) {
+  AdmissionConfig config;
+  config.defaultQuota = TenantQuota{/*burst=*/4.0, /*refillPerSecond=*/1.0};
+  // A non-refilling tenant can never be reconstructed from scratch, so its
+  // bucket must survive every sweep.
+  config.tenantQuotas["pinned"] =
+      TenantQuota{/*burst=*/2.0, /*refillPerSecond=*/0.0};
+  TenantQuotas quotas(config);
+
+  // A soak's worth of one-shot tenant names must not grow the map forever.
+  constexpr int kTenants = 10000;
+  for (int i = 0; i < kTenants; ++i)
+    EXPECT_TRUE(quotas.tryAcquire("tenant-" + std::to_string(i), 0.0));
+  EXPECT_TRUE(quotas.tryAcquire("pinned", 0.0));
+  EXPECT_EQ(quotas.bucketCount(), kTenants + 1u);
+
+  // Horizon for the default quota is burst/refill = 4 s.  At t=3.9 the
+  // buckets are not yet refilled to burst — nothing may be evicted.
+  EXPECT_TRUE(quotas.tryAcquire("keepalive", 3.9));
+  EXPECT_EQ(quotas.bucketCount(), kTenants + 2u);
+
+  // Past the horizon every idle default bucket is back at full burst and
+  // equivalent to a fresh one; only the recent tenant and the
+  // non-refilling override survive the sweep.
+  EXPECT_TRUE(quotas.tryAcquire("keepalive", 5.0));
+  EXPECT_EQ(quotas.bucketCount(), 2u);
+
+  // Semantics preserved: an evicted tenant re-admits at full burst,
+  // exactly as its (fully refilled) bucket would have.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(quotas.tryAcquire("tenant-0", 5.0)) << i;
+  EXPECT_FALSE(quotas.tryAcquire("tenant-0", 5.0));
+
+  // The pinned non-refilling bucket kept its spent-token state: it never
+  // reaches the refill-to-burst horizon, so it was not recreated.
+  EXPECT_TRUE(quotas.tryAcquire("pinned", 100.0));
+  EXPECT_FALSE(quotas.tryAcquire("pinned", 100.0));  // 2-burst spent
+}
+
 TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndProbesRecovery) {
   CircuitBreaker breaker("test", /*failureThreshold=*/3,
                          /*cooldownSeconds=*/10.0);

@@ -4,6 +4,7 @@
 // percentile-gauge publication.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/histogram.h"
@@ -53,48 +54,69 @@ TEST(HistogramPercentile, EmptyAndSingleValue) {
   EXPECT_DOUBLE_EQ(h.mean(), 1.0);
   EXPECT_DOUBLE_EQ(h.maxRecorded(), 1.0);
   // Closed form: n = 1, rank r = p/100; the single value's bucket is
-  // selected with frac = r, value = lower * (upper/lower)^frac.
+  // selected with frac = r, value = lower * (upper/lower)^frac, clamped
+  // to the recorded maximum (1.0 sits on its bucket's lower edge, so the
+  // raw interpolation would overshoot the only sample at every p > 0).
   const int bucket = Histogram::bucketIndex(1.0);
   const double lower = Histogram::bucketLowerBound(bucket);
   const double upper = Histogram::bucketUpperBound(bucket);
   for (const double p : {10.0, 50.0, 90.0}) {
-    const double expected = lower * std::pow(upper / lower, p / 100.0);
+    const double expected =
+        std::min(lower * std::pow(upper / lower, p / 100.0), 1.0);
     EXPECT_NEAR(h.percentile(p), expected, 1e-12) << "p" << p;
+    EXPECT_LE(h.percentile(p), h.maxRecorded()) << "p" << p;
   }
 }
 
 TEST(HistogramPercentile, ClosedFormAcrossTwoBuckets) {
-  // One sample in the bucket of 0.001 and three in the bucket of 1.0:
-  // cumulative counts are 1 and 4.
+  // One sample in the bucket of 0.001 and three in the bucket of 1.3
+  // (strictly inside its bucket, so mid-bucket interpolation is
+  // unclamped): cumulative counts are 1 and 4.
   Histogram h;
   h.record(0.001);
-  h.record(1.0);
-  h.record(1.0);
-  h.record(1.0);
+  h.record(1.3);
+  h.record(1.3);
+  h.record(1.3);
 
   const int low = Histogram::bucketIndex(0.001);
-  const int high = Histogram::bucketIndex(1.0);
+  const int high = Histogram::bucketIndex(1.3);
   // p25: rank = 1, consumed exactly by the first bucket (frac = 1) — the
   // percentile sits at that bucket's upper edge.
   EXPECT_NEAR(h.percentile(25.0), Histogram::bucketUpperBound(low), 1e-12);
-  // p100: rank = 4, consumed by the last bucket with frac = 1.
-  EXPECT_NEAR(h.percentile(100.0), Histogram::bucketUpperBound(high), 1e-12);
-  // p62.5: rank = 2.5, second bucket holds ranks (1, 4], frac = 1.5/3.
+  // p100: rank = 4 lands in the last bucket with frac = 1; the raw upper
+  // edge overshoots the samples, so the clamp reports the true maximum.
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1.3);
+  // p62.5: rank = 2.5, second bucket holds ranks (1, 4], frac = 1.5/3;
+  // the geometric interpolation sits below the recorded max (unclamped).
   const double lower = Histogram::bucketLowerBound(high);
   const double upper = Histogram::bucketUpperBound(high);
-  EXPECT_NEAR(h.percentile(62.5), lower * std::pow(upper / lower, 0.5),
-              1e-12);
+  const double raw = lower * std::pow(upper / lower, 0.5);
+  ASSERT_LT(raw, 1.3);
+  EXPECT_NEAR(h.percentile(62.5), raw, 1e-12);
 }
 
 TEST(HistogramPercentile, UnderflowInterpolatesLinearlyOverflowClamps) {
   Histogram underflow;
-  underflow.record(0.0);
-  // Single sample in [0, kMinValue): p50 -> frac 0.5, linear from 0.
+  underflow.record(0.8 * Histogram::kMinValue);
+  // Single sample in [0, kMinValue): p50 -> frac 0.5, linear from 0
+  // (below the recorded max, so the clamp does not bind).
   EXPECT_NEAR(underflow.percentile(50.0), 0.5 * Histogram::kMinValue, 1e-18);
+  // p100 would interpolate to the bucket edge; the clamp pins the sample.
+  EXPECT_DOUBLE_EQ(underflow.percentile(100.0), 0.8 * Histogram::kMinValue);
+
+  Histogram zeros;
+  zeros.record(0.0);
+  zeros.record(0.0);
+  // All-zero samples must never report a positive latency.
+  EXPECT_DOUBLE_EQ(zeros.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.percentile(100.0), 0.0);
 
   Histogram overflow;
   overflow.record(1e9);
-  EXPECT_DOUBLE_EQ(overflow.percentile(50.0), Histogram::kMaxValue);
+  // The overflow bucket has no upper edge; before the clamp fix it
+  // reported kMaxValue, six orders of magnitude below the true sample.
+  EXPECT_DOUBLE_EQ(overflow.percentile(50.0), 1e9);
+  EXPECT_DOUBLE_EQ(overflow.percentile(100.0), 1e9);
   EXPECT_DOUBLE_EQ(overflow.maxRecorded(), 1e9);  // max is exact
 }
 

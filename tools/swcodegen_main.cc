@@ -28,6 +28,7 @@
 #include "core/compiler.h"
 #include "core/gemm_runner.h"
 #include "core/kernel_serdes.h"
+#include "core/sharded_gemm.h"
 #include "service/kernel_service.h"
 #include "service/soak.h"
 #include "sunway/fault.h"
@@ -73,6 +74,13 @@ void usage(std::FILE* out) {
       "                     to a host shared object (prints a `jit:` cache\n"
       "                     verdict; environmental JIT failures degrade to\n"
       "                     the plan engine)\n"
+      "  --groups N         shard --run/--estimate across N concurrent core\n"
+      "                     groups (1..6; default 1).  --run verifies the\n"
+      "                     sharded result bit-for-bit against the\n"
+      "                     single-group reference; --estimate applies the\n"
+      "                     shared-DDR contention derate and NoC hand-off\n"
+      "                     costs; --tune widens the search space with\n"
+      "                     N-group candidates\n"
       "  --profile          print a per-stage compile breakdown, the\n"
       "                     derived run metrics (overlap%%, stall%%, SPM),\n"
       "                     the grouped metrics-registry table and the\n"
@@ -177,7 +185,7 @@ int runShapeSmoke(const sw::core::CompiledKernel& kernel,
                   const sw::sunway::ArchConfig& arch,
                   const std::vector<long>& shape,
                   sw::core::PadMode padMode,
-                  sw::rt::ExecEngine engine,
+                  sw::rt::ExecEngine engine, long groups,
                   sw::rt::RunOutcome* outcomeOut) {
   const std::int64_t m = shape[0], n = shape[1], k = shape[2];
   const std::int64_t batch = shape.size() == 4 ? shape[3] : 1;
@@ -193,6 +201,46 @@ int runShapeSmoke(const sw::core::CompiledKernel& kernel,
   sw::core::FunctionalRunConfig runConfig;
   runConfig.padMode = padMode;
   runConfig.engine = engine;
+
+  if (groups > 1) {
+    // Multi-group mode: single-group reference first, then the sharded
+    // run across `groups` concurrent meshes, verified bit-for-bit.
+    std::vector<double> ref = c0;
+    sw::core::runGemmFunctional(kernel, arch, problem, a, b, ref, runConfig);
+
+    sw::core::ShardedConfig sharded;
+    sharded.groups = static_cast<int>(groups);
+    sharded.run = runConfig;
+    std::vector<double> c = c0;
+    const sw::core::ShardedOutcome outcome = sw::core::runShardedFunctional(
+        kernel, arch, sharded, problem, a, b, c);
+    std::printf("ran %lldx%lldx%lld batch %lld on %d core groups "
+                "(%dx%d C blocks, %lld K chunks): %.2f GFLOPS modelled, "
+                "%.3f ms simulated, DDR derate %.2f\n",
+                static_cast<long long>(m), static_cast<long long>(n),
+                static_cast<long long>(k), static_cast<long long>(batch),
+                outcome.groupsUsed, outcome.rowBlocks, outcome.colBlocks,
+                static_cast<long long>(outcome.kChunks), outcome.gflops,
+                outcome.seconds * 1e3, outcome.contentionDerate);
+    if (outcomeOut != nullptr) {
+      outcomeOut->seconds = outcome.seconds;
+      outcomeOut->gflops = outcome.gflops;
+      outcomeOut->engine = "sharded-mesh";
+      outcomeOut->counters = outcome.counters;
+      outcomeOut->report = outcome.report;
+      outcomeOut->hostCopyBytes = outcome.hostCopyBytes;
+    }
+    if (std::memcmp(c.data(), ref.data(), c.size() * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "run: result=MISMATCH — %d-group sharded run diverged "
+                   "from the single-group reference\n",
+                   outcome.groupsUsed);
+      return 1;
+    }
+    std::printf("run: result=bit-correct vs single-group reference\n");
+    return 0;
+  }
+
   std::vector<double> c = c0;
   const sw::rt::RunOutcome outcome =
       sw::core::runGemmFunctional(kernel, arch, problem, a, b, c, runConfig);
@@ -539,15 +587,20 @@ int runTuneMode(sw::service::KernelService& service,
   const sw::service::KernelService::ResolvedSchedule resolved =
       service.resolveSchedule(base, problem);
   const sw::tuning::TunedScheduleRecord& record = resolved.record;
+  char groupsNote[32] = "";
+  if (record.schedule.shardedGroups > 1)
+    std::snprintf(groupsNote, sizeof(groupsNote), " groups %d",
+                  record.schedule.shardedGroups);
   std::printf("best schedule: tile %lldx%lldx%lld strip %lld depth %d %s "
-              "mk %dx%d — %.2f GFLOPS simulated (%s)\n",
+              "mk %dx%d%s — %.2f GFLOPS simulated (%s)\n",
               static_cast<long long>(record.schedule.tileM),
               static_cast<long long>(record.schedule.tileN),
               static_cast<long long>(record.schedule.tileK),
               static_cast<long long>(record.schedule.stripFactor),
               record.schedule.bufferDepth,
               record.schedule.edgeTiles ? "edge" : "pad",
-              record.schedule.microMr, record.schedule.microNr, record.gflops,
+              record.schedule.microMr, record.schedule.microNr, groupsNote,
+              record.gflops,
               record.verdict.empty() ? "unvalidated" : record.verdict.c_str());
   std::printf("search report: %d enumerated, %d feasible, %d validated on "
               "the mesh, %.2f s host search time\n",
@@ -644,6 +697,7 @@ int main(int argc, char** argv) {
   std::string reportPath;  // empty = stdout
   double watchdogMillis = -1.0;  // negative = library default
   long jobs = 0;
+  long groups = 1;
   long soakRequests = 0;
   double soakQuota = 0.0;  // 0 = effectively unlimited tenant quotas
   bool dumpSchedule = false;
@@ -764,6 +818,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "swcodegen: --soak-quota requires a positive "
                      "tokens-per-second rate\n");
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--groups") {
+      if (i + 1 >= argc || !parsePositiveLong(argv[i + 1], &groups)) {
+        std::fprintf(stderr,
+                     "swcodegen: --groups requires a positive core-group "
+                     "count\n");
         return 2;
       }
       ++i;
@@ -945,6 +1007,11 @@ int main(int argc, char** argv) {
     serviceConfig.cacheDir = cacheDir;
     serviceConfig.tuningDir = tuningDir;
     serviceConfig.threads = static_cast<int>(jobs);
+    if (groups > 1)
+      // Widen the schedule search with N-group sharded candidates (scored
+      // through the contention-derated estimator); {1} stays in so the
+      // single-group default can still win.
+      serviceConfig.tuner.space.shardedGroups = {1, static_cast<int>(groups)};
     sw::service::KernelService service(sw::sunway::ArchConfig{},
                                        serviceConfig);
 
@@ -1035,24 +1102,49 @@ int main(int argc, char** argv) {
     if (!estimate.empty()) {
       sw::core::GemmProblem problem{estimate[0], estimate[1], estimate[2],
                                     estimate.size() == 4 ? estimate[3] : 1};
-      estimated = sw::core::estimateGemm(kernel, compiler.arch(), problem);
-      std::printf("estimated %ldx%ldx%ld%s: %.2f GFLOPS (%.1f%% of model "
-                  "peak), %.3f ms\n",
-                  estimate[0], estimate[1], estimate[2],
-                  estimate.size() == 4
-                      ? (" batch " + std::to_string(estimate[3])).c_str()
-                      : "",
-                  estimated.gflops,
-                  100.0 * estimated.gflops /
-                      (compiler.arch().peakFlops() / 1e9),
-                  estimated.seconds * 1e3);
+      if (groups > 1) {
+        sw::core::ShardedConfig sharded;
+        sharded.groups = static_cast<int>(groups);
+        const sw::core::ShardedOutcome outcome = sw::core::estimateSharded(
+            kernel, compiler.arch(), sharded, problem);
+        estimated.seconds = outcome.seconds;
+        estimated.gflops = outcome.gflops;
+        estimated.engine = "sharded-estimator";
+        estimated.counters = outcome.counters;
+        estimated.report = outcome.report;
+        std::printf("estimated %ldx%ldx%ld%s on %d core groups: %.2f "
+                    "GFLOPS (%.1f%% of the %d-group peak, DDR derate "
+                    "%.2f), %.3f ms\n",
+                    estimate[0], estimate[1], estimate[2],
+                    estimate.size() == 4
+                        ? (" batch " + std::to_string(estimate[3])).c_str()
+                        : "",
+                    outcome.concurrentGroups, outcome.gflops,
+                    100.0 * outcome.gflops /
+                        (static_cast<double>(outcome.concurrentGroups) *
+                         compiler.arch().peakFlops() / 1e9),
+                    outcome.concurrentGroups, outcome.contentionDerate,
+                    outcome.seconds * 1e3);
+      } else {
+        estimated = sw::core::estimateGemm(kernel, compiler.arch(), problem);
+        std::printf("estimated %ldx%ldx%ld%s: %.2f GFLOPS (%.1f%% of model "
+                    "peak), %.3f ms\n",
+                    estimate[0], estimate[1], estimate[2],
+                    estimate.size() == 4
+                        ? (" batch " + std::to_string(estimate[3])).c_str()
+                        : "",
+                    estimated.gflops,
+                    100.0 * estimated.gflops /
+                        (compiler.arch().peakFlops() / 1e9),
+                    estimated.seconds * 1e3);
+      }
     }
 
     int runRc = 0;
     sw::rt::RunOutcome runOutcome;
     if (!runShape.empty())
       runRc = runShapeSmoke(kernel, compiler.arch(), runShape, padMode,
-                            engine, &runOutcome);
+                            engine, groups, &runOutcome);
 
     // A functional mesh run lights up the 64 per-CPE trace lanes and the
     // threaded-runtime metrics.
